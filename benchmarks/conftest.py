@@ -1,0 +1,22 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one of the paper's figures or in-text results,
+prints a paper-vs-measured table (persisted under ``results/``), and asserts
+the *shape* claims -- who wins, rough factors, where the modes sit -- not
+absolute microsecond equality.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's measurement campaign on your own terminal.
+
+Runs Test Case A (private quiet ring) and Test Case B (loaded public ring)
+with the PC/AT parallel-port timestamper cabled to the paper's four
+measurement points, and renders the seven histograms of Section 5.3 --
+including Figure 5-2's bimodal transmit-path histogram and Figure 5-3/5-4's
+transmitter-to-receiver distributions.
+
+Run:  python examples/measurement_campaign.py          (about a minute)
+"""
+
+from repro.experiments.reporting import (
+    figure_5_2_report,
+    figure_5_3_report,
+    histogram_summary_table,
+)
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import test_case_a, test_case_b
+from repro.sim.units import SEC
+
+print("Running Test Case A (private network, no load, stand-alone hosts)...")
+result_a = run_scenario(test_case_a(duration_ns=30 * SEC, seed=1))
+print("Running Test Case B (public network, normal load, multiprocessing)...")
+result_b = run_scenario(test_case_b(duration_ns=30 * SEC, seed=1))
+
+print()
+print(histogram_summary_table(result_a.histograms, "Test Case A"))
+print()
+print(histogram_summary_table(result_b.histograms, "Test Case B"))
+print()
+print(figure_5_3_report(result_a.histograms[7]))
+print()
+print(figure_5_2_report(result_b.histograms[6]))
+print()
+print("Delivery check:")
+for name, result in (("A", result_a), ("B", result_b)):
+    t = result.tracker
+    print(f"  Test Case {name}: {result.stream.delivered} packets, "
+          f"{t.lost_packets} lost, {t.duplicates} duplicates")

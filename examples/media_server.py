@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""A continuous-media file server: disk to network with zero CPU copies.
+
+The paper's deployment story (Section 1: "The source machine must read a
+disc and redirect the data flow onto the local area network") assembled
+from the reproduction's parts:
+
+* media is read ahead from a late-80s disk model by DMA straight into IO
+  Channel Memory staging buffers (never stealing CPU memory cycles);
+* a 12 ms pacing timer packetizes it as CTMSP;
+* the Token Ring driver transmits by *pointer exchange* -- the Section 2
+  extension -- so the media bytes are never touched by the CPU at all;
+* stream reads carry disk-queue priority, so a competing batch workload on
+  the same spindle cannot starve the stream (watch what happens to the
+  shallow-readahead server when the hammering starts).
+
+Run:  python examples/media_server.py
+"""
+
+from repro.drivers.disk_source import DiskSourceConfig, DiskStreamSource
+from repro.experiments.testbed import HostConfig, Testbed
+from repro.hardware.disk import DiskAdapter
+from repro.hardware.memory import Region
+from repro.sim.units import MS, SEC
+from repro.unix.process import UserProcess
+
+
+def build(readahead_low, readahead_high, seed=30):
+    bed = Testbed(seed=seed)
+    server = bed.add_host(HostConfig(name="server"))
+    client = bed.add_host(HostConfig(name="client"))
+    disk = DiskAdapter(server.machine)
+    server.machine.add_adapter("hd0", disk)
+    source = DiskStreamSource(
+        server.kernel, disk, server.tr_driver,
+        DiskSourceConfig(
+            readahead_low_water=readahead_low,
+            readahead_high_water=readahead_high,
+        ),
+    )
+
+    def sink_setup(proc):
+        yield from proc.ioctl(
+            "vca0", "CTMS_ATTACH_SINK", {"tr_driver": client.tr_driver}
+        )
+
+    def server_setup(proc):
+        yield from source.bind("client", client.vca_driver.device_number)
+        source.start()
+
+    UserProcess(client.kernel, "sink-setup").start(sink_setup)
+    UserProcess(server.kernel, "server-setup").start(server_setup)
+
+    # A competing batch workload on the same disk (closed loop).
+    rng = server.machine.rng.get("batch")
+
+    def batch():
+        def next_read():
+            bed.sim.schedule(2 * MS, batch)
+            yield from iter(())
+
+        disk.read(rng.randrange(0, 10**8), 24_576, Region.SYSTEM, next_read)
+
+    bed.sim.schedule(2 * SEC, batch)
+    return bed, server, client, source
+
+
+print("Disk-backed CTMS media server, 166 KB/s stream + batch disk load")
+print("-----------------------------------------------------------------")
+for low, high, label in (
+    (4_000, 8_000, "shallow read-ahead (4/8 KB)"),
+    (48_000, 96_000, "deep read-ahead (48/96 KB)"),
+):
+    bed, server, client, source = build(low, high)
+    bed.run(8 * SEC)
+    stats = client.vca_driver.stream_stats
+    stalls = [g for g in stats.inter_arrival_ns() if g > 20 * MS]
+    ledger = server.kernel.ledger
+    bulk_cpu = sum(
+        rec.copies for rec in ledger.cpu.values()
+        if rec.copies and rec.bytes / rec.copies >= 1000
+    )
+    print(f"{label}:")
+    print(f"  packets delivered : {stats.delivered}")
+    print(f"  under-runs        : {source.stats_underruns}")
+    print(f"  delivery stalls   : {len(stalls)} (> 20 ms)")
+    print(f"  bulk CPU copies   : {bulk_cpu} (pointer passing: the CPU never"
+          " touches the media)")
+print()
+print("Deep read-ahead plus stream-priority disk scheduling rides out the")
+print("batch load; shallow read-ahead audibly glitches.")

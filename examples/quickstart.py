@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: stream continuous media between two machines over the ring.
+
+Builds the smallest complete CTMS system -- a 70-station 4 Mbit Token Ring,
+a transmitter and a receiver (each a full IBM RT/PC model with a UNIX
+kernel, a Token Ring adapter and a Voice Communications Adapter) -- then
+establishes a CTMS point-to-point session exactly the way the paper's
+prototype did: a user process wires the two device drivers together with
+ioctl calls, and after that the data never touches user space.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.session import CTMSSession
+from repro.experiments.testbed import HostConfig, Testbed
+from repro.sim.units import MS, SEC
+
+# A laboratory: simulator + ring + Active Monitor (housekeeping traffic).
+bed = Testbed(seed=42)
+
+# Two machines on the ring.  Defaults give each the paper's configuration:
+# IO Channel Memory fitted, CTMSP priority queueing, ring priority 4.
+transmitter = bed.add_host(HostConfig(name="transmitter"))
+receiver = bed.add_host(HostConfig(name="receiver"))
+
+# Wire source VCA -> Token Ring -> sink VCA with the paper's new ioctls.
+session = CTMSSession(transmitter.kernel, receiver.kernel)
+session.establish()
+
+# Let it stream for five simulated seconds (one 2000-byte CTMSP packet
+# every 12 ms, approximately 166 KB/s).
+bed.run(5 * SEC)
+
+stats = session.stats
+tracker = session.sink_tracker
+print("CTMS quickstart")
+print("---------------")
+print(f"packets delivered     : {stats.delivered}")
+print(f"throughput            : {stats.throughput_bytes_per_sec() / 1000:.1f} KB/s")
+print(f"lost / dup / reordered: {tracker.lost_packets} / "
+      f"{tracker.duplicates} / {tracker.reordered}")
+print(f"latency (min/max)     : {stats.min_latency_ns() / MS:.2f} / "
+      f"{stats.max_latency_ns() / MS:.2f} ms")
+gaps = stats.inter_arrival_ns()
+print(f"inter-arrival mean    : {sum(gaps) / len(gaps) / MS:.3f} ms "
+      "(the VCA's 12 ms period, reproduced at the sink)")
+
+assert tracker.lost_packets == 0, "quiet ring must be lossless"
+print("\nOK: continuous-rate delivery with zero loss.")

@@ -1,0 +1,195 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro list                  # what can be run
+    python -m repro fig5-2 [--seconds 60] [--seed 1]
+    python -m repro fig5-3
+    python -m repro fig5-4 [--minutes 6]
+    python -m repro histograms {a,b}
+    python -m repro baseline
+    python -m repro copies
+    python -m repro quickstart
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sim.units import MINUTE, SEC
+
+
+def _cmd_fig5_2(args) -> int:
+    from repro.experiments.reporting import figure_5_2_report
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.scenarios import test_case_b
+
+    result = run_scenario(
+        test_case_b(duration_ns=args.seconds * SEC, seed=args.seed)
+    )
+    print(figure_5_2_report(result.histograms[6]))
+    return 0
+
+
+def _cmd_fig5_3(args) -> int:
+    from repro.experiments.reporting import figure_5_3_report
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.scenarios import test_case_a
+
+    result = run_scenario(
+        test_case_a(duration_ns=args.seconds * SEC, seed=args.seed)
+    )
+    print(figure_5_3_report(result.histograms[7]))
+    return 0
+
+
+def _cmd_fig5_4(args) -> int:
+    from repro.experiments.reporting import figure_5_4_report
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.scenarios import test_case_b
+
+    duration = args.minutes * MINUTE
+    result = run_scenario(
+        test_case_b(
+            duration_ns=duration,
+            seed=args.seed,
+            insertions_per_day=24 * 60.0 / max(1, args.minutes // 3),
+        )
+    )
+    print(
+        figure_5_4_report(
+            result.histograms[7],
+            result.testbed.inserter.stats_insertions,
+            args.minutes,
+        )
+    )
+    return 0
+
+
+def _cmd_histograms(args) -> int:
+    from repro.experiments.reporting import histogram_summary_table
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.scenarios import test_case_a, test_case_b
+
+    factory = test_case_a if args.case == "a" else test_case_b
+    result = run_scenario(factory(duration_ns=args.seconds * SEC, seed=args.seed))
+    print(
+        histogram_summary_table(
+            result.histograms, f"Test Case {args.case.upper()}"
+        )
+    )
+    for i in sorted(result.histograms):
+        print()
+        print(result.histograms[i].to_ascii(width=50, max_rows=25))
+    return 0
+
+
+def _cmd_baseline(args) -> int:
+    from repro.experiments.baseline import run_rate_comparison
+
+    results = run_rate_comparison(duration_ns=args.seconds * SEC, seed=args.seed)
+    print("Stock UNIX relay (Section 1):")
+    for rate, r in sorted(results.items()):
+        verdict = "works" if r.works() else "FAILS COMPLETELY"
+        print(
+            f"  {rate // 1000:>4} KB/s: delivered "
+            f"{r.delivered_fraction * 100:5.1f}%, "
+            f"{r.glitch_rate_per_sec():5.2f} glitches/s -> {verdict}"
+        )
+    return 0
+
+
+def _cmd_copies(args) -> int:
+    from repro.experiments.copies import measure_all
+
+    print("Data copies per packet (Section 2):")
+    for m in measure_all(duration_ns=args.seconds * SEC, seed=args.seed):
+        status = "ok" if m.matches_model() else "MISMATCH"
+        print(
+            f"  {m.path.value:>16}: {m.cpu_per_packet:.2f} CPU + "
+            f"{m.dma_per_packet:.2f} DMA  (model "
+            f"{m.model.cpu_copies}+{m.model.dma_copies})  [{status}]"
+        )
+    return 0
+
+
+def _cmd_ablate(args) -> int:
+    from repro.experiments.ablations import TABLE_HEADERS, run_matrix
+    from repro.experiments.reporting import format_table
+
+    summary = run_matrix(args.seconds * SEC, args.seed)
+    print(
+        format_table(
+            "Section 5.3 ablations (one switch flipped at a time)",
+            TABLE_HEADERS,
+            [entry.as_row() for entry in summary.values()],
+        )
+    )
+    return 0
+
+
+def _cmd_quickstart(args) -> int:
+    from repro.core.session import CTMSSession
+    from repro.experiments.testbed import HostConfig, Testbed
+
+    bed = Testbed(seed=args.seed)
+    tx = bed.add_host(HostConfig(name="transmitter"))
+    rx = bed.add_host(HostConfig(name="receiver"))
+    session = CTMSSession(tx.kernel, rx.kernel)
+    session.establish()
+    bed.run(args.seconds * SEC)
+    stats = session.stats
+    print(
+        f"delivered {stats.delivered} packets at "
+        f"{stats.throughput_bytes_per_sec() / 1000:.1f} KB/s, "
+        f"{session.sink_tracker.lost_packets} lost"
+    )
+    return 0
+
+
+COMMANDS = {
+    "fig5-2": (_cmd_fig5_2, "Figure 5-2: Test B transmit-path histogram"),
+    "fig5-3": (_cmd_fig5_3, "Figure 5-3: Test A tx-to-rx histogram"),
+    "fig5-4": (_cmd_fig5_4, "Figure 5-4: Test B tx-to-rx with ring insertions"),
+    "histograms": (_cmd_histograms, "All seven histograms for one test case"),
+    "baseline": (_cmd_baseline, "Stock UNIX relay at 16 vs 150 KB/s"),
+    "copies": (_cmd_copies, "Copy counts for the three transfer paths"),
+    "ablate": (_cmd_ablate, "Section 5.3 ablation matrix"),
+    "quickstart": (_cmd_quickstart, "Minimal two-machine CTMS stream"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CTMS reproduction experiments (USENIX 1991)",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    for name, (_fn, help_text) in COMMANDS.items():
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--seed", type=int, default=1)
+        if name == "fig5-4":
+            p.add_argument("--minutes", type=int, default=6)
+        else:
+            p.add_argument("--seconds", type=int, default=30)
+        if name == "histograms":
+            p.add_argument("case", choices=["a", "b"])
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None or args.command == "list":
+        print("available experiments:")
+        for name, (_fn, help_text) in COMMANDS.items():
+            print(f"  {name:<12} {help_text}")
+        return 0
+    fn, _help = COMMANDS[args.command]
+    return fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

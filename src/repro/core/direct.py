@@ -1,0 +1,103 @@
+"""The Section 2 transfer-model analysis.
+
+The paper's argument is a copy count: moving data between two devices
+through a user process costs four-to-six copies ("as many as six and as few
+as four.  The difference of two copies can be accounted for by the devices'
+DMA capabilities.  There will always be four copies made by the CPU"); the
+direct driver-to-driver change removes two CPU copies; and the
+pointer-passing extension removes all CPU copies when both devices can DMA.
+
+This module states those predictions as a model.  The COPIES experiment
+*measures* the same quantities from the copy ledger after pushing packets
+through each implemented path and checks them against this model -- the
+reproduction of Figures 2-1 and 2-2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TransferPath(enum.Enum):
+    """The three device-to-device disciplines Section 2 discusses."""
+
+    #: Figure 2-1/2-2: device -> kernel -> user -> kernel -> device, with
+    #: driver copies between fixed DMA buffers and mbufs on both sides.
+    USER_PROCESS = "user_process"
+    #: The paper's change: source driver hands packets straight to the
+    #: destination driver; the user process only sets up handles.
+    DIRECT_DRIVER = "direct_driver"
+    #: The further extension: "transfers by pointer manipulation rather than
+    #: by data copy" -- both drivers exchange DMA buffer pointers.
+    POINTER_PASSING = "pointer_passing"
+
+
+@dataclass(frozen=True)
+class CopyCountModel:
+    """Predicted copies for one path/device combination."""
+
+    path: TransferPath
+    source_has_dma: bool
+    sink_has_dma: bool
+    cpu_copies: int
+    dma_copies: int
+
+    @property
+    def total_copies(self) -> int:
+        return self.cpu_copies + self.dma_copies
+
+
+def predicted_copies(
+    path: TransferPath,
+    source_has_dma: bool = True,
+    sink_has_dma: bool = True,
+) -> CopyCountModel:
+    """The paper's copy arithmetic for each transfer discipline.
+
+    USER_PROCESS (Figure 2-2), per side: a DMA device pays one DMA transfer
+    into its fixed buffer plus a CPU copy between fixed buffer and mbufs; a
+    non-DMA device's programmed-I/O read *is* the mbuf fill (one CPU copy,
+    no DMA).  Either way the kernel<->user crossing adds one CPU copy per
+    side.  Hence always four CPU copies, plus one DMA copy per DMA-capable
+    device: "as many as six and as few as four", with "the difference of
+    two copies ... accounted for by the devices' DMA capabilities."
+
+    DIRECT_DRIVER: the two kernel<->user copies disappear; the driver-level
+    buffer<->mbuf copies and the device transfers remain.
+
+    POINTER_PASSING: each DMA-capable side sheds its buffer<->mbuf CPU copy
+    by exchanging DMA buffer pointers -- "If only one of the two devices is
+    capable of DMA, then only one copy can be eliminated."
+    """
+    dma = int(source_has_dma) + int(sink_has_dma)
+    if path is TransferPath.USER_PROCESS:
+        return CopyCountModel(path, source_has_dma, sink_has_dma, 4, dma)
+    if path is TransferPath.DIRECT_DRIVER:
+        return CopyCountModel(path, source_has_dma, sink_has_dma, 2, dma)
+    if path is TransferPath.POINTER_PASSING:
+        return CopyCountModel(path, source_has_dma, sink_has_dma, 2 - dma, dma)
+    raise ValueError(f"unknown path {path}")
+
+
+def paper_claims() -> dict[str, int]:
+    """The headline numbers of Section 2, for the experiment report."""
+    worst = predicted_copies(
+        TransferPath.USER_PROCESS, source_has_dma=True, sink_has_dma=True
+    )
+    best = predicted_copies(
+        TransferPath.USER_PROCESS, source_has_dma=False, sink_has_dma=False
+    )
+    direct = predicted_copies(
+        TransferPath.DIRECT_DRIVER, source_has_dma=True, sink_has_dma=True
+    )
+    pointer = predicted_copies(
+        TransferPath.POINTER_PASSING, source_has_dma=True, sink_has_dma=True
+    )
+    return {
+        "user_process_max_total": worst.total_copies,  # "as many as six"
+        "user_process_min_total": best.total_copies,  # "as few as four"
+        "user_process_cpu": best.cpu_copies,  # "always four copies by CPU"
+        "direct_cpu": direct.cpu_copies,  # two CPU copies eliminated
+        "pointer_passing_cpu": pointer.cpu_copies,  # all CPU copies gone
+    }

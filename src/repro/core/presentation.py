@@ -1,0 +1,181 @@
+"""The presentation machine: live playout with glitch detection.
+
+The paper's success criterion is perceptual: data must reach "the subsystem
+that is converting the digital data to audio in such a way that no
+discernible glitches are heard."  :class:`PresentationMachine` is the
+library's embodiment of that subsystem: it attaches to a CTMS sink, buffers
+delivered packets, starts playout after a prefill, consumes at the media
+rate *in simulated time*, and records every under-run as it happens -- so an
+application (or experiment) can watch glitches occur live instead of
+replaying traces afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.ctmsp import CTMSPPacket
+from repro.sim.engine import Handle, Simulator
+from repro.sim.units import SEC
+
+
+@dataclass
+class GlitchRecord:
+    """One audible under-run."""
+
+    at_ns: int
+    starved_for_ns: int = 0
+
+
+class PresentationMachine:
+    """Consume a CTMS stream at its media rate, counting discernible glitches.
+
+    Wire it to a sink by calling :meth:`on_packet` from the sink driver's
+    delivery path (see :meth:`attach_to_vca`), or feed it manually.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    rate_bytes_per_sec:
+        Playout consumption rate (use the media source's per-period rate).
+    prefill_bytes:
+        Playout starts once this much data is buffered.
+    capacity_bytes:
+        Buffer bound; arrivals beyond it are dropped (counted).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bytes_per_sec: float,
+        prefill_bytes: int,
+        capacity_bytes: int,
+    ) -> None:
+        if rate_bytes_per_sec <= 0:
+            raise ValueError("rate must be positive")
+        if prefill_bytes > capacity_bytes:
+            raise ValueError("prefill cannot exceed capacity")
+        self.sim = sim
+        self.rate = rate_bytes_per_sec
+        self.prefill_bytes = prefill_bytes
+        self.capacity_bytes = capacity_bytes
+        self._level = 0.0
+        self._playing = False
+        self._starved_since: Optional[int] = None
+        self._last_drain = 0
+        self._deadline: Optional[Handle] = None
+        # --- observable state ---
+        self.glitches: list[GlitchRecord] = []
+        self.overflow_drops = 0
+        self.bytes_played = 0.0
+        self.peak_level = 0
+        self.playout_started_at: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # input
+    # ------------------------------------------------------------------
+    def on_packet(self, data_bytes: int) -> None:
+        """A packet's payload arrived at the sink."""
+        self._drain_to_now()
+        if self._level + data_bytes > self.capacity_bytes:
+            self.overflow_drops += 1
+            return
+        self._level += data_bytes
+        self.peak_level = max(self.peak_level, math.ceil(self._level))
+        if not self._playing and self._level >= self.prefill_bytes:
+            self._playing = True
+            self.playout_started_at = self.sim.now
+            self._last_drain = self.sim.now
+        if self._playing and self._starved_since is not None:
+            # Starvation ends when data returns; close the glitch record.
+            self.glitches[-1].starved_for_ns = (
+                self.sim.now - self._starved_since
+            )
+            self._starved_since = None
+        self._arm_deadline()
+
+    def attach_to_vca(self, vca_driver) -> None:
+        """Hook a VCA sink driver's delivery path into this player."""
+        original = vca_driver.ctms_deliver
+
+        def wrapped(frame, residency, chain):
+            packet = frame.payload
+            if isinstance(packet, CTMSPPacket):
+                self.on_packet(packet.data_bytes)
+            result = yield from original(frame, residency, chain)
+            return result
+
+        vca_driver.ctms_deliver = wrapped
+        if vca_driver.tr_driver is not None and vca_driver.tr_driver.ctms_deliver is not None:
+            vca_driver.tr_driver.ctms_deliver = wrapped
+
+    # ------------------------------------------------------------------
+    # playout mechanics
+    # ------------------------------------------------------------------
+    def _drain_to_now(self) -> None:
+        if not self._playing or self._starved_since is not None:
+            self._last_drain = self.sim.now
+            return
+        elapsed = self.sim.now - self._last_drain
+        self._last_drain = self.sim.now
+        need = self.rate * (elapsed / SEC)
+        if need <= self._level:
+            self._level -= need
+            self.bytes_played += need
+            return
+        # The consumer ran dry partway through the interval: one glitch.
+        played = self._level
+        self.bytes_played += played
+        self._level = 0.0
+        dry_at = self.sim.now - round((need - played) / self.rate * SEC)
+        self.glitches.append(GlitchRecord(at_ns=max(0, dry_at)))
+        self._starved_since = max(0, dry_at)
+
+    def _arm_deadline(self) -> None:
+        """Schedule a check at the moment the buffer would run dry."""
+        if self._deadline is not None:
+            self._deadline.cancel()
+            self._deadline = None
+        if not self._playing or self._starved_since is not None:
+            return
+        dry_in = round(self._level / self.rate * SEC) + 1
+        self._deadline = self.sim.schedule(dry_in, self._deadline_check)
+
+    def _deadline_check(self) -> None:
+        self._deadline = None
+        self._drain_to_now()
+        # If we are now starved, the glitch was recorded by the drain.
+
+    def stop(self) -> None:
+        """End playback cleanly (end of the media, user pressed stop).
+
+        Drains to now and disarms the dry-buffer deadline so the natural
+        end of a stream is not miscounted as a glitch.
+        """
+        self._drain_to_now()
+        if self._deadline is not None:
+            self._deadline.cancel()
+            self._deadline = None
+        self._playing = False
+        if self._starved_since is not None:
+            self.glitches[-1].starved_for_ns = self.sim.now - self._starved_since
+            self._starved_since = None
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def level_bytes(self) -> float:
+        """Current buffer level (drained to now)."""
+        self._drain_to_now()
+        return self._level
+
+    @property
+    def glitch_count(self) -> int:
+        return len(self.glitches)
+
+    def is_glitch_free(self) -> bool:
+        return not self.glitches and self.overflow_drops == 0

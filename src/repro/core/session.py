@@ -1,0 +1,101 @@
+"""CTMS point-to-point session setup.
+
+The paper's control flow: a user process opens both devices and wires them
+together with the new ``ioctl`` calls -- after that, data never touches user
+space again.  :class:`CTMSSession` performs exactly that choreography on a
+source machine and a sink machine:
+
+1. on the sink, ``ioctl(vca, CTMS_ATTACH_SINK)`` registers the classify and
+   deliver function handles with the Token Ring driver's split point;
+2. on the source, ``ioctl(vca, CTMS_BIND)`` asks the Token Ring driver to
+   compute the Token Ring header once and stores it in the VCA device state;
+3. ``ioctl(vca, CTMS_START)`` loads the DSP timer program and the modified
+   interrupt handler starts producing CTMSP packets every 12 ms.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.stream import StreamStats
+from repro.sim.engine import Event
+from repro.unix.kernel import Kernel
+from repro.unix.process import UserProcess
+
+if TYPE_CHECKING:  # avoid a circular import; drivers import core.ctmsp
+    from repro.drivers.token_ring import TokenRingDriver
+    from repro.drivers.vca import VCADriver
+
+
+class CTMSSession:
+    """One continuous-media connection between two machines."""
+
+    def __init__(
+        self,
+        source_kernel: Kernel,
+        sink_kernel: Kernel,
+        vca_device: str = "vca0",
+        tr_device: str = "tr0",
+    ) -> None:
+        self.source_kernel = source_kernel
+        self.sink_kernel = sink_kernel
+        self.vca_device = vca_device
+        self.tr_device = tr_device
+        self.established: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def establish(self) -> Event:
+        """Run the setup ioctls; returns an event firing when streaming."""
+        sim = self.source_kernel.sim
+        self.established = sim.event(name="ctms-established")
+        sink_ready = sim.event(name="ctms-sink-ready")
+
+        sink_vca: "VCADriver" = self.sink_kernel.device(self.vca_device)
+        sink_tr: "TokenRingDriver" = self.sink_kernel.device(self.tr_device)
+        source_tr: "TokenRingDriver" = self.source_kernel.device(self.tr_device)
+        source_vca: "VCADriver" = self.source_kernel.device(self.vca_device)
+
+        def sink_setup(proc: UserProcess):
+            yield from proc.ioctl(
+                self.vca_device, "CTMS_ATTACH_SINK", {"tr_driver": sink_tr}
+            )
+            sink_ready.succeed()
+
+        def source_setup(proc: UserProcess):
+            yield sink_ready  # wait for the sink's handles to be in place
+            yield from proc.ioctl(
+                self.vca_device,
+                "CTMS_BIND",
+                {
+                    "tr_driver": source_tr,
+                    "dst": sink_tr.adapter.address,
+                    "dst_device": sink_vca.device_number,
+                },
+            )
+            yield from proc.ioctl(self.vca_device, "CTMS_START")
+            self.established.succeed()
+
+        UserProcess(self.sink_kernel, "ctms-sink-setup").start(sink_setup)
+        UserProcess(self.source_kernel, "ctms-src-setup").start(source_setup)
+        return self.established
+
+    def stop(self) -> None:
+        """Halt the source's DSP timer (streaming ceases)."""
+        source_vca: "VCADriver" = self.source_kernel.device(self.vca_device)
+        source_vca.adapter.stop()
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> StreamStats:
+        """Sink-side delivery statistics."""
+        sink_vca: "VCADriver" = self.sink_kernel.device(self.vca_device)
+        return sink_vca.stream_stats
+
+    @property
+    def sink_tracker(self):
+        sink_vca: "VCADriver" = self.sink_kernel.device(self.vca_device)
+        return sink_vca.tracker

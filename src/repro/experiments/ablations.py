@@ -1,0 +1,128 @@
+"""The Section 5.3 ablation matrix as a library.
+
+Runs Test Case B with one of the paper's modifications switched off at a
+time, each paired with a memory-intensive compute process on the
+transmitter (the paper's own framing of the IOCC contention problem: "If
+the CPU is executing a memory intensive computation at the time, the
+arbitration between the DMA and the CPU access will degrade the execution
+speed of both").  Used by ``benchmarks/test_ablations.py`` and the
+``python -m repro ablate`` command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.core.session import CTMSSession
+from repro.experiments.runner import build_scenario, run_scenario
+from repro.experiments.scenarios import Scenario, test_case_b
+from repro.sim.units import MS, SEC, US
+from repro.unix.process import UserProcess
+
+DEFAULT_DURATION = 25 * SEC
+
+
+@dataclass
+class AblationEntry:
+    """Measured effects of one configuration."""
+
+    name: str
+    h6_min: int
+    h6_p95: int
+    h7_p95: int
+    lost: int
+    delivered: int
+    compute_chunks: int
+    token_wait_per_frame: float
+
+    def as_row(self) -> list[str]:
+        return [
+            self.name,
+            f"{self.h6_min / US:.0f}",
+            f"{self.h6_p95 / US:.0f}",
+            f"{self.h7_p95 / US:.0f}",
+            str(self.compute_chunks),
+            f"{self.token_wait_per_frame / US:.0f}",
+            str(self.lost),
+        ]
+
+
+def matrix_variants(duration_ns: int = DEFAULT_DURATION, seed: int = 1):
+    """The default one-switch-at-a-time variant set."""
+    base = test_case_b(duration_ns=duration_ns, seed=seed)
+    return {
+        "baseline (Test B)": base,
+        "fixed DMA buffers in system memory": base.variant(
+            "sysmem",
+            tx_use_io_channel_memory=False,
+            rx_use_io_channel_memory=False,
+        ),
+        "recompute TR header per packet": base.variant(
+            "header", tx_precompute_header=False
+        ),
+        "no driver priority for CTMSP": base.variant(
+            "noprio", driver_priority_queueing=False
+        ),
+        "no ring media priority": base.variant("noring", ctmsp_ring_priority=0),
+    }
+
+
+def run_matrix(
+    duration_ns: int = DEFAULT_DURATION, seed: int = 1
+) -> dict[str, AblationEntry]:
+    """Run every variant and summarize."""
+    entries: dict[str, AblationEntry] = {}
+    for name, scenario in matrix_variants(duration_ns, seed).items():
+        entries[name] = run_one(name, scenario)
+    return entries
+
+
+def run_one(name: str, scenario: Scenario) -> AblationEntry:
+    """One variant with the attached compute-progress probe."""
+    result = run_scenario(scenario)
+
+    # Re-run the identical scenario with a memory-intensive computation on
+    # the transmitter; its completed work measures DMA cycle stealing.
+    progress = {"chunks": 0}
+
+    def compute(proc: UserProcess) -> Generator:
+        while True:
+            yield from proc.compute(1 * MS)
+            progress["chunks"] += 1
+
+    bed, tx, rx, background, _tap = build_scenario(scenario)
+    session = CTMSSession(tx.kernel, rx.kernel)
+    session.establish()
+    if background is not None:
+        background.start()
+    UserProcess(tx.kernel, "memhog").start(compute)
+    bed.run(scenario.duration_ns)
+
+    h6 = result.histograms[6]
+    h7 = result.histograms[7]
+    ring = result.testbed.ring
+    frames = ring.stats_by_protocol.get("ctmsp", {"frames": 1})["frames"]
+    return AblationEntry(
+        name=name,
+        h6_min=h6.min(),
+        h6_p95=h6.percentile(95),
+        h7_p95=h7.percentile(95),
+        lost=result.tracker.lost_packets,
+        delivered=result.tracker.delivered,
+        compute_chunks=progress["chunks"],
+        token_wait_per_frame=(
+            ring.stats_token_wait_ns.get("ctmsp", 0) / max(1, frames)
+        ),
+    )
+
+
+TABLE_HEADERS = [
+    "configuration",
+    "h6 min(us)",
+    "h6 p95(us)",
+    "h7 p95(us)",
+    "compute done",
+    "token wait(us)",
+    "lost",
+]

@@ -1,0 +1,234 @@
+"""Calibration constants for the CTMS testbed model.
+
+Every constant is either **PAPER** (stated directly in the paper, with the
+sentence it comes from) or **DERIVED** (chosen so that a quantity the paper
+*does* state comes out right; the derivation is noted).  Derived constants are
+pinned by ``tests/experiments/test_calibration.py``: if you change one, the
+end-to-end latency budget tests will tell you which paper number you broke.
+
+Units: times are integer nanoseconds (see :mod:`repro.sim.units`); rates are
+nanoseconds per byte unless suffixed otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.sim.units import MS, US
+
+# ---------------------------------------------------------------------------
+# Token Ring (IEEE 802.5 as deployed at the ITC)
+# ---------------------------------------------------------------------------
+
+#: PAPER: "a 4Mbit Token Ring with 70 machines".
+TOKEN_RING_BIT_RATE = 4_000_000
+#: Nanoseconds to serialize one bit at 4 Mbit/s.
+TOKEN_RING_NS_PER_BIT = 250
+#: Nanoseconds to serialize one byte at 4 Mbit/s.
+TOKEN_RING_NS_PER_BYTE = 8 * TOKEN_RING_NS_PER_BIT
+#: PAPER: the ITC ring had 70 stations.
+TOKEN_RING_DEFAULT_STATIONS = 70
+#: DERIVED: one-bit latency per station repeater plus lobe propagation; with
+#: 70 stations this yields a quiescent ring latency of ~25 us, typical for a
+#: 4 Mbit ring of that size (and small against the 4 ms frame time).
+STATION_LATENCY_NS = 300
+#: 802.5 token is 3 bytes (SD, AC, ED).
+TOKEN_BYTES = 3
+#: 802.5 frame overhead in bytes: SD+AC+FC (3), dest+src addresses (12),
+#: FCS (4), ED+FS (2) = 21 bytes on the wire around the information field.
+FRAME_OVERHEAD_BYTES = 21
+#: PAPER: "The MAC frame packets are on the order of 20 bytes of data."
+MAC_FRAME_BYTES = 20
+#: PAPER: "the amount of MAC frame traffic on the Token Ring we use is
+#: between 0.2% and 1.0%".
+MAC_TRAFFIC_UTILIZATION_LOW = 0.002
+MAC_TRAFFIC_UTILIZATION_HIGH = 0.010
+#: DERIVED: a Ring Purge (Active Monitor purging and re-issuing the token)
+#: makes the ring unusable for about this long.  The paper attributes ~10 ms
+#: of its 120-130 ms outliers to "a soft error on the Token Ring and the
+#: Token Ring timing out and resetting of the network".
+RING_PURGE_DURATION = 10 * MS
+#: PAPER: "we have seen on the order of 10 Ring Purges back to back" when a
+#: station inserts.
+RING_INSERTION_PURGE_BURST = 10
+#: PAPER: ring insertions occur "on the order of 20 times a day,
+#: approximately one an hour".
+RING_INSERTIONS_PER_DAY = 20
+
+# ---------------------------------------------------------------------------
+# CTMSP stream (the paper's prototype source)
+# ---------------------------------------------------------------------------
+
+#: PAPER: the VCA "would interrupt the host every 12 milliseconds".
+VCA_INTERRUPT_PERIOD = 12 * MS
+#: PAPER: the oscilloscope saw the second IRQ pulse vary "on the order of
+#: 500 nanoseconds from 12 milliseconds".
+VCA_INTERRUPT_JITTER = 500
+#: PAPER: "a packet of 2000 bytes in length (including the header
+#: information but excluding the Token Ring protocol bytes)".
+CTMSP_PACKET_BYTES = 2000
+#: PAPER (Section 1): the working 16 KB/s initial test was "8K samples/sec,
+#: 12 bit/sample" telephone-quality audio; per 12 ms VCA period that is
+#: ~192 bytes of real device data, the rest of the 2000-byte packet being
+#: appended filler ("We then appended the packet with data to create a
+#: packet of 2000 bytes").
+VCA_DEVICE_BYTES_PER_PERIOD = 192
+#: PAPER: "a CTMSP data transport stream of approximately 150KBytes/sec".
+#: (2000 bytes every 12 ms is 166.7 KB/s; the paper rounds down.)
+CTMSP_STREAM_RATE_BYTES_PER_SEC = CTMSP_PACKET_BYTES * 1_000 // 12
+
+# ---------------------------------------------------------------------------
+# CPU copy costs (the heart of Section 2)
+# ---------------------------------------------------------------------------
+
+#: PAPER: "The transfer rate of copying data from the system memory where
+#: the mbufs are located to the IO Channel Memory, where the fixed DMA
+#: buffers are located, is on the order of 1 microsecond per byte."
+CPU_COPY_SYS_TO_IOCM_NS_PER_BYTE = 1_000
+#: DERIVED: symmetric cost for the receive-side copy out of an IO Channel
+#: Memory DMA buffer into mbufs (same bus path, opposite direction).
+CPU_COPY_IOCM_TO_SYS_NS_PER_BYTE = 1_000
+#: DERIVED: system-memory-to-system-memory copies (mbuf chain handling, data
+#: appended into mbufs) are far cheaper than crossing the IO Channel.  Chosen
+#: so the paper's "600 microseconds ... attributed to the execution of the
+#: code between the two points of measurement" holds with the VCA handler's
+#: data-append copy included (2000 B * 0.12 us/B = 240 us, leaving ~360 us of
+#: code path; see CODE_* constants below).
+CPU_COPY_SYS_TO_SYS_NS_PER_BYTE = 120
+#: DERIVED: kernel/user crossing (copyin/copyout) pays VM translation and
+#: fault checks per page on top of the raw copy -- the RT/PC's microcoded
+#: block move was slow.  Only the stock-UNIX baseline path pays this; it is
+#: a large part of why 150 KB/s "failed completely" through a user process.
+CPU_COPY_KERNEL_USER_NS_PER_BYTE = 600
+#: DERIVED: programmed I/O over a byte-wide adapter interface (the VCA's
+#: host port; the paper's footnote 3 describes the similar ACPA interface).
+#: One I/O-space load/store per byte.
+CPU_PIO_ADAPTER_NS_PER_BYTE = 1_000
+
+# ---------------------------------------------------------------------------
+# DMA and bus arbitration (Section 4)
+# ---------------------------------------------------------------------------
+
+#: DERIVED: Token Ring adapter transmit-side DMA (fixed DMA buffer ->
+#: on-card buffer).  Slower than the receive side because the fetch
+#: interleaves with the on-card protocol processor's access to the same
+#: buffer RAM.  Together with TR_ADAPTER_CMD_LATENCY, chosen so (a) the
+#: Test Case A minimum point-3-to-point-4 latency for a 2000-byte packet
+#: lands at the paper's 10740 us (Figure 5-3), and (b) a CTMSP packet
+#: queued behind a 1522-byte local transmission reproduces Figure 5-2's
+#: second mode near 9400 us.
+TR_ADAPTER_TX_DMA_NS_PER_BYTE = 1_125
+#: DERIVED: receive-side DMA (on-card buffer -> fixed DMA buffer) runs at
+#: full IO Channel burst speed.
+TR_ADAPTER_RX_DMA_NS_PER_BYTE = 1_380
+#: DERIVED: adapter command processing between the host issuing *transmit*
+#: and the first DMA fetch cycle -- the microcoded command path of the era's
+#: Token Ring adapters was notoriously slow (SRB processing on an on-card
+#: processor).  See TR_ADAPTER_TX_DMA_NS_PER_BYTE for the joint calibration.
+TR_ADAPTER_CMD_LATENCY = 1_400 * US
+#: DERIVED: fraction by which concurrent DMA into *system* memory stretches
+#: CPU execution, per active transfer ("the arbitration between the DMA and
+#: the CPU access will degrade the execution speed of both").  DMA into IO
+#: Channel Memory causes no such interference -- that is the paper's third
+#: modification.
+DMA_CPU_INTERFERENCE_PER_TRANSFER = 0.35
+
+# ---------------------------------------------------------------------------
+# Interrupts, protected code, scheduling
+# ---------------------------------------------------------------------------
+
+#: DERIVED: minimum interrupt entry cost (vectoring plus register save) on
+#: the RT/PC; the floor of the paper's IRQ-to-handler measurement.
+IRQ_ENTRY_OVERHEAD = 60 * US
+#: PAPER: "Even while loading the Token Ring and the local disk, the largest
+#: variation seen was 440 microseconds" between the IRQ pulse and the start
+#: of the VCA interrupt handler.  We model protected (spl-raised) kernel code
+#: sections whose lengths are drawn up to this bound; the variation *emerges*
+#: from IRQs landing inside them.
+PROTECTED_SECTION_MAX = 380 * US
+#: DERIVED: typical protected-section length for background kernel activity.
+PROTECTED_SECTION_MEAN = 90 * US
+#: DERIVED: the kernel also runs *longer* sections at network priority
+#: (queue draining, timer sweeps) that delay Token Ring interrupts but not
+#: the higher-priority VCA -- the "other interrupt sources and the execution
+#: of protected code segments" behind the right-hand tails of Figures 5-3
+#: and 5-4 (up to a few ms, without violating the 440 us VCA-entry bound).
+LOW_SPL_SECTION_MEAN = 900 * US
+LOW_SPL_SECTION_MAX = 3_500 * US
+#: DERIVED: fraction of kernel-noise episodes that are long low-spl ones.
+LOW_SPL_SECTION_FRACTION = 0.2
+#: DERIVED: context-switch cost between user processes on the RT/PC.
+CONTEXT_SWITCH_COST = 80 * US
+#: BSD 4.3 scheduler clock: hz=100, a 10 ms tick and quantum.
+CLOCK_TICK = 10 * MS
+#: PAPER: "the clock granularity was only 122 microseconds" (the RT/PC
+#: timer readable by the pseudo-driver tracer; 1/8192 s).
+RTPC_CLOCK_GRANULARITY = 122 * US
+
+# ---------------------------------------------------------------------------
+# Driver code-path costs (between the paper's measurement points)
+# ---------------------------------------------------------------------------
+
+#: DERIVED: VCA handler code between entry and handing the packet to the
+#: Token Ring driver: packet-number stamping, chain bookkeeping.  The
+#: paper's "600 microseconds ... attributed to the execution of the code"
+#: between measurement points 2 and 3 decomposes in the model as: ~96 us of
+#: byte-wide PIO for the real VCA data, ~215 us appending filler into mbufs
+#: (system-to-system), ~30 us of mbuf allocation, this constant, and
+#: TR_DRIVER_TX_CODE below.
+VCA_HANDLER_CODE = 100 * US
+#: DERIVED: Token Ring driver transmit entry path (queue handling, header
+#: check) excluding the copy into the fixed DMA buffer.
+TR_DRIVER_TX_CODE = 80 * US
+#: DERIVED: receive-side classification code: the "shortest possible test to
+#: determine if the packet was an CTMSP packet".
+TR_DRIVER_RX_CLASSIFY_CODE = 40 * US
+#: DERIVED: receive interrupt handler code excluding copies (buffer
+#: bookkeeping, restart of the adapter's receive DMA).
+TR_DRIVER_RX_CODE = 220 * US
+#: DERIVED: cost to (re)compute a Token Ring header the way IP does for
+#: every packet; CTMSP precomputes it once per connection.
+TR_HEADER_COMPUTE_COST = 120 * US
+#: DERIVED: per-packet IP output processing (checksum, route lookup).
+IP_OUTPUT_COST = 250 * US
+#: DERIVED: per-packet TCP processing (segmentation, checksum, ack logic).
+TCP_PER_PACKET_COST = 450 * US
+#: DERIVED: per-packet UDP processing.
+UDP_PER_PACKET_COST = 150 * US
+#: DERIVED: socket-layer syscall overhead (send/recv path excluding copies).
+SOCKET_SYSCALL_COST = 180 * US
+#: DERIVED: mbuf allocation cost per buffer grabbed from the pool.
+MBUF_ALLOC_COST = 15 * US
+#: DERIVED: generic read/write syscall entry/exit overhead.
+SYSCALL_OVERHEAD = 120 * US
+
+# ---------------------------------------------------------------------------
+# PC/AT measurement tool (Section 5.2.3)
+# ---------------------------------------------------------------------------
+
+#: PAPER: "a 16 bit clock value where the resolution of the clock was two
+#: microseconds".
+PCAT_CLOCK_RESOLUTION = 2 * US
+PCAT_CLOCK_BITS = 16
+#: PAPER: "another timer within the PC/AT to generate a signal with a period
+#: of 50 Hz" tied to the eighth parallel input port to detect clock rollover.
+PCAT_ROLLOVER_MARKER_PERIOD = 20 * MS
+#: PAPER: "the interrupt handler loop had a 60 microsecond worst case
+#: execution time".
+PCAT_LOOP_WORST_CASE = 60 * US
+#: DERIVED: best-case poll loop iteration (nothing pending).
+PCAT_LOOP_BEST_CASE = 12 * US
+#: PAPER: "there was a 120 microsecond spread on both sides of the 12
+#: millisecond mean" when timestamping the bare VCA IRQ line.
+PCAT_EXPECTED_SPREAD = 120 * US
+
+# ---------------------------------------------------------------------------
+# Interrupt priority levels (BSD spl ordering, highest number = most urgent)
+# ---------------------------------------------------------------------------
+
+SPL_NONE = 0
+SPL_SOFTNET = 1
+SPL_NET = 3
+SPL_TTY = 4
+SPL_BIO = 5
+SPL_CLOCK = 6
+SPL_VCA = 5
+SPL_HIGH = 7

@@ -1,0 +1,91 @@
+"""DMA engines.
+
+A DMA transfer occupies the engine for ``nbytes * ns_per_byte`` and -- when
+either end of the transfer is in main system memory -- registers itself as a
+CPU-contention source for its duration (Section 4: "this DMA can interfere
+with the CPU's access to system memory").  Transfers whose both ends are on
+the IO Channel (adapter buffer <-> IO Channel Memory) run without touching
+the CPU at all, which is the effect the paper's third modification buys.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.hardware.cpu import CPU
+from repro.hardware.memory import MemorySystem, Region
+from repro.sim.engine import Simulator
+
+
+class DMAEngine:
+    """One adapter's DMA channel.
+
+    Transfers are serialized: an adapter has a single bus master interface,
+    so overlapping requests queue FIFO.  ``on_done`` callbacks fire at
+    transfer completion time.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu: Optional[CPU],
+        name: str,
+        ns_per_byte: int,
+    ) -> None:
+        self.sim = sim
+        self.cpu = cpu
+        self.name = name
+        self.ns_per_byte = ns_per_byte
+        self._busy = False
+        self._queue: deque[tuple[int, Region, Region, Optional[Callable[[], None]]]] = deque()
+        # --- statistics ---
+        self.stats_transfers = 0
+        self.stats_bytes = 0
+        self.stats_busy_ns = 0
+        self.stats_contending_transfers = 0
+
+    @property
+    def busy(self) -> bool:
+        """True while a transfer (or queued transfers) are in progress."""
+        return self._busy
+
+    def transfer(
+        self,
+        nbytes: int,
+        src: Region,
+        dst: Region,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Start (or queue) a DMA of ``nbytes`` from ``src`` to ``dst``."""
+        if nbytes <= 0:
+            raise ValueError(f"DMA of {nbytes} bytes")
+        self._queue.append((nbytes, src, dst, on_done))
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        nbytes, src, dst, on_done = self._queue.popleft()
+        duration = nbytes * self.ns_per_byte
+        contends = MemorySystem.dma_involves_cpu_memory(src, dst)
+        if contends:
+            self.stats_contending_transfers += 1
+            if self.cpu is not None:
+                self.cpu.contention_started()
+        self.stats_transfers += 1
+        self.stats_bytes += nbytes
+        self.stats_busy_ns += duration
+        self.sim.schedule(duration, self._finish, contends, on_done)
+
+    def _finish(
+        self, contends: bool, on_done: Optional[Callable[[], None]]
+    ) -> None:
+        if contends and self.cpu is not None:
+            self.cpu.contention_ended()
+        if on_done is not None:
+            on_done()
+        self._start_next()

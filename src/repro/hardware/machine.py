@@ -1,0 +1,59 @@
+"""The assembled IBM RT/PC machine model.
+
+A :class:`Machine` owns a CPU, a memory system (with or without the IO
+Channel Memory card), and a set of adapters.  The UNIX kernel model
+(:mod:`repro.unix`) attaches on top; network adapters attach to a ring
+(:mod:`repro.ring`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.hardware.cpu import CPU
+from repro.hardware.memory import MemorySystem
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+class Machine:
+    """One host in the testbed.
+
+    Parameters
+    ----------
+    sim:
+        Shared simulator.
+    name:
+        Host name, used for tracing and as a RNG namespace.
+    rng:
+        Testbed-wide random stream factory; the machine forks its own family
+        so its stochastic behaviour is independent of other hosts'.
+    has_io_channel_memory:
+        Whether the optional IO Channel Memory card is fitted (Section 4).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rng: Optional[RandomStreams] = None,
+        has_io_channel_memory: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.rng = (rng or RandomStreams(0)).fork(name)
+        self.cpu = CPU(sim, name=f"{name}.cpu")
+        self.memory = MemorySystem(has_io_channel_memory=has_io_channel_memory)
+        self.adapters: dict[str, Any] = {}
+        #: Set by repro.unix.kernel.Kernel when it attaches.
+        self.kernel: Any = None
+
+    def add_adapter(self, name: str, adapter: Any) -> Any:
+        """Register an adapter card under ``name``."""
+        if name in self.adapters:
+            raise ValueError(f"adapter slot {name!r} already used on {self.name}")
+        self.adapters[name] = adapter
+        return adapter
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Machine {self.name} adapters={sorted(self.adapters)}>"

@@ -1,0 +1,56 @@
+"""The serial/parallel interface card used to export measurement events.
+
+Section 5.2.3: "We installed a serial/parallel interface board in each
+machine on which we wanted to time stamp events.  Within the Token Ring
+device driver, we replaced the calls to the pseudo device driver procedure
+with in-line code to write specific values into the parallel port and toggle
+the strobe output line."
+
+The port is write-only from the host's point of view: the driver writes a
+byte (the last 7 bits of the CTMSP packet number) and toggles strobe; the
+strobe edge latches the byte at whatever is wired to the other end (one of
+the PC/AT's eight input channels).  The in-line code cost is charged by the
+*caller* (it is part of the driver's instruction stream); the port model
+itself only propagates the electrical edge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.units import US
+
+#: Cost of the in-line "write value, toggle strobe" sequence in driver code.
+#: DERIVED: a handful of I/O-space stores on the RT/PC.
+PORT_WRITE_CODE_COST = 4 * US
+
+
+class ParallelPort:
+    """One 8-bit output port with a strobe line.
+
+    ``sink`` is called as ``sink(time_ns, value)`` on each strobe edge;
+    the PC/AT timestamper registers itself here when a channel is cabled up.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "lpt") -> None:
+        self.sim = sim
+        self.name = name
+        self._latch = 0
+        self.sink: Optional[Callable[[int, int], None]] = None
+        self.stats_strobes = 0
+
+    def write(self, value: int) -> None:
+        """Latch ``value`` (low 8 bits) on the output pins."""
+        self._latch = value & 0xFF
+
+    def strobe(self) -> None:
+        """Toggle the strobe line, presenting the latched byte downstream."""
+        self.stats_strobes += 1
+        if self.sink is not None:
+            self.sink(self.sim.now, self._latch)
+
+    def emit(self, value: int) -> None:
+        """Convenience: ``write`` then ``strobe`` in one call."""
+        self.write(value)
+        self.strobe()

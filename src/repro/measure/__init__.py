@@ -1,0 +1,36 @@
+"""Measurement instruments -- with their error models.
+
+Section 5 of the paper is unusually candid that the *tools* have error
+budgets, and spends pages characterizing them.  We model each tool with its
+documented distortion so the reproduction's histograms inherit realistic
+measurement noise:
+
+* :mod:`~repro.measure.histogram` -- the histogram/statistics toolkit the
+  analysis machines ran;
+* :mod:`~repro.measure.pcat` -- the PC/AT parallel-port timestamper: 2 us
+  16-bit clock, 50 Hz rollover-marker channel, polling-loop service delay
+  (60 us worst case), and the two-PC store pipeline;
+* :mod:`~repro.measure.tap` -- IBM's Trace and Analysis Program: on-ring
+  capture of AC/FC bytes, length, and the first 96 bytes, with a capture-
+  rate limitation;
+* :mod:`~repro.measure.pseudo_driver` -- the in-kernel pseudo-driver tracer:
+  122 us clock granularity and measurement intrusion;
+* :mod:`~repro.measure.logic_analyzer` -- the reference instrument: exact
+  edge capture, but no histogramming depth (the reason the paper built the
+  PC/AT tool).
+"""
+
+from repro.measure.histogram import Histogram
+from repro.measure.logic_analyzer import LogicAnalyzer
+from repro.measure.pcat import PcatRecord, PcatTimestamper
+from repro.measure.pseudo_driver import PseudoDriverTracer
+from repro.measure.tap import TapMonitor
+
+__all__ = [
+    "Histogram",
+    "LogicAnalyzer",
+    "PcatRecord",
+    "PcatTimestamper",
+    "PseudoDriverTracer",
+    "TapMonitor",
+]

@@ -1,0 +1,55 @@
+"""The logic analyzer (Section 5.2.2) -- the reference instrument.
+
+"The use of a logic analyzer is the least obtrusive way of measuring the
+values of interest" -- it captures signal edges at exact simulated time with
+zero intrusion.  Its limitation, faithfully kept: bounded capture depth and
+no histogramming ("we needed a complete histogram ... The logic analyzer was
+not capable of this functionality"), which is why the paper built the PC/AT
+tool and used the analyzer only to *calibrate* it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+class LogicAnalyzer:
+    """Edge capture with optional trigger and bounded depth."""
+
+    def __init__(self, depth: int = 2048, name: str = "la") -> None:
+        self.name = name
+        self.depth = depth
+        self.edges: list[int] = []
+        self._armed = True
+        self.trigger: Optional[Callable[[int], bool]] = None
+        self.stats_overflowed = False
+
+    def attach(self, listeners: list) -> None:
+        """Clip the probe onto a signal's listener list (e.g. a VCA IRQ line)."""
+        listeners.append(self.on_edge)
+
+    def on_edge(self, t_ns: int) -> None:
+        if not self._armed:
+            return
+        if self.trigger is not None and not self.edges:
+            if not self.trigger(t_ns):
+                return
+        if len(self.edges) >= self.depth:
+            self.stats_overflowed = True
+            self._armed = False
+            return
+        self.edges.append(t_ns)
+
+    # ------------------------------------------------------------------
+    # the two measurements the paper made with it
+    # ------------------------------------------------------------------
+    def intervals(self) -> list[int]:
+        """Edge-to-edge intervals (the VCA period stability measurement)."""
+        return [b - a for a, b in zip(self.edges, self.edges[1:])]
+
+    def max_deviation_from(self, nominal_ns: int) -> int:
+        """Largest |interval - nominal| -- the paper's 500 ns result."""
+        ivs = self.intervals()
+        if not ivs:
+            return 0
+        return max(abs(iv - nominal_ns) for iv in ivs)

@@ -1,0 +1,49 @@
+"""Wire-format size constants and the datagram descriptor.
+
+Payload contents never matter to the transport measurements, so datagrams
+travel as a small descriptor object inside the ring frame's ``payload``
+slot; only their *sizes* are modeled, which is what determines wire time and
+copy costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+#: IPv4 header bytes.
+IP_HEADER_BYTES = 20
+#: UDP header bytes.
+UDP_HEADER_BYTES = 8
+#: TCP header bytes (no options).
+TCP_HEADER_BYTES = 20
+#: ARP packet bytes (request/reply information field).
+ARP_PACKET_BYTES = 28
+#: Classic Ethernet-era MSS carried over to the ring driver's framing.
+TCP_MSS = 1460
+
+
+@dataclass
+class Datagram:
+    """One IP datagram as the stack layers see it."""
+
+    proto: str  # "udp" or "tcp"
+    src_host: str
+    dst_host: str
+    src_port: int
+    dst_port: int
+    data_bytes: int
+    #: TCP sequencing (byte offset of this segment's first byte).
+    seq: int = 0
+    #: TCP cumulative acknowledgement carried by this segment.
+    ack: Optional[int] = None
+    #: Opaque application payload tag (lets tests correlate messages).
+    tag: Any = None
+
+    @property
+    def info_bytes(self) -> int:
+        """Information-field bytes inside the ring frame."""
+        header = IP_HEADER_BYTES + (
+            TCP_HEADER_BYTES if self.proto == "tcp" else UDP_HEADER_BYTES
+        )
+        return header + self.data_bytes

@@ -1,0 +1,41 @@
+"""UDP: connectionless datagrams over IP.
+
+The natural stock-UNIX carrier for a media stream (no retransmission delay),
+and therefore the fairest baseline against CTMSP in the BASELINE experiment:
+it still pays the user/kernel copies, per-packet header recomputation, and
+priority-less queueing -- just not TCP's ack machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.hardware import calibration
+from repro.hardware.cpu import Exec
+from repro.protocols.headers import Datagram
+from repro.unix.mbuf import MbufChain
+
+
+class UdpLayer:
+    """One host's UDP."""
+
+    def __init__(self, stack) -> None:
+        self.stack = stack
+        self.stats_out = 0
+        self.stats_in = 0
+        self.stats_no_socket = 0
+
+    def output(self, dgram: Datagram, chain: MbufChain) -> Generator:
+        yield Exec(calibration.UDP_PER_PACKET_COST)
+        self.stats_out += 1
+        yield from self.stack.ip.output(dgram, chain)
+
+    def input(self, dgram: Datagram, chain: MbufChain) -> Generator:
+        yield Exec(calibration.UDP_PER_PACKET_COST)
+        self.stats_in += 1
+        socket = self.stack.find_socket("udp", dgram.dst_port)
+        if socket is None:
+            self.stats_no_socket += 1
+            chain.free()
+            return
+        socket.enqueue_datagram(dgram, chain)

@@ -1,0 +1,207 @@
+"""A hop-level Token Ring: the validation reference for the lazy model.
+
+The production :class:`~repro.ring.network.TokenRing` advances the token
+*analytically* while the ring is idle (zero events per rotation).  This
+module simulates the same medium the expensive way -- one event per station
+the token passes, explicit 802.5 priority reservation and stacking -- so
+that ``tests/ring/test_lazy_vs_detailed.py`` can check that the cheap model
+produces the same access delays and delivery times, hop for hop, on shared
+workloads.
+
+It is intentionally not integrated with the testbed: its cost (a token hop
+every 300 ns of simulated time) is only acceptable for sub-second
+validation runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.hardware import calibration
+from repro.ring.frames import BROADCAST, Frame
+from repro.ring.network import TOKEN_TIME_NS
+
+#: Per-hop latency, matching the lazy model's constant.
+HOP_NS = calibration.STATION_LATENCY_NS
+
+
+class DetailedStation:
+    """One attachment point on the detailed ring."""
+
+    def __init__(self, ring: "DetailedTokenRing", address: str) -> None:
+        self.ring = ring
+        self.address = address
+        self.position = len(ring.stations)
+        ring.stations.append(self)
+        self.queue: deque[tuple[Frame, Optional[Callable]]] = deque()
+        self.receive: Optional[Callable[[Frame], None]] = None
+
+    def transmit(
+        self, frame: Frame, on_complete: Optional[Callable] = None
+    ) -> None:
+        self.queue.append((frame, on_complete))
+        self.ring._unpark()
+
+    def top_priority(self) -> int:
+        return max((f.priority for f, _cb in self.queue), default=-1)
+
+    def pop_best(self) -> tuple[Frame, Optional[Callable]]:
+        """Dequeue the highest-priority frame (FIFO within a priority).
+
+        802.5 stations hold per-priority transmit queues; a station that
+        captured the token sends its most urgent frame, not its oldest.
+        """
+        best_index = 0
+        for i, (f, _cb) in enumerate(self.queue):
+            if f.priority > self.queue[best_index][0].priority:
+                best_index = i
+        entry = self.queue[best_index]
+        del self.queue[best_index]
+        return entry
+
+
+class DetailedTokenRing:
+    """Explicit token circulation with 802.5 priority and stacking."""
+
+    def __init__(self, sim, total_stations: int = 8) -> None:
+        if total_stations < 2:
+            raise ValueError("a ring needs at least two stations")
+        self.sim = sim
+        self.total_stations = total_stations
+        self.stations: list[DetailedStation] = []
+        self.token_priority = 0
+        #: Stacked old priorities (Sx registers of the stacking station).
+        self._stack: list[int] = []
+        self._stacker: Optional[int] = None
+        self._reservation = 0
+        self._running = False
+        #: When nothing is queued ring-wide, the token parks at its current
+        #: position instead of consuming one event per hop forever.  Phase
+        #: error on resume is at most one rotation -- inside the agreement
+        #: tolerance the lazy-model cross-validation uses.
+        self._parked = False
+        self._parked_position = 0
+        self._parked_at = 0
+        self._in_flight = False
+        self.stats_frames_sent = 0
+        self.stats_token_hops = 0
+
+    def attach(self, address: str) -> DetailedStation:
+        if len(self.stations) >= self.total_stations:
+            raise ValueError("ring is fully populated")
+        return DetailedStation(self, address)
+
+    def start(self) -> None:
+        """Issue the token at station 0 and begin circulating."""
+        if self._running:
+            return
+        self._running = True
+        self._parked = False
+        # Pad the ring to the declared size with silent repeaters.
+        while len(self.stations) < self.total_stations:
+            DetailedStation(self, f"_repeater{len(self.stations)}")
+        self.sim.schedule(1, self._token_at, 0)
+
+    # ------------------------------------------------------------------
+    # token circulation
+    # ------------------------------------------------------------------
+    def _unpark(self) -> None:
+        """Resume circulation with the phase the token would have had.
+
+        While parked, the idle token's position is advanced analytically
+        (identical to the lazy model's idle treatment): nothing else can
+        change on an idle ring -- reservations need queued frames, and any
+        priority stack was unwound at park time.
+        """
+        if self._running and self._parked:
+            self._parked = False
+            elapsed = self.sim.now - self._parked_at
+            hops, remainder = divmod(elapsed, HOP_NS)
+            position = int(self._parked_position + hops) % self.total_stations
+            self.sim.schedule(
+                max(1, HOP_NS - remainder), self._token_at,
+                (position + 1) % self.total_stations,
+            )
+
+    def _token_at(self, position: int) -> None:
+        if not any(s.queue for s in self.stations) and not self._in_flight:
+            # Idle: an un-demanded token lowers through any stacked
+            # priorities within a rotation, then just circulates.
+            while self._stack:
+                self.token_priority = self._stack.pop()
+            self._stacker = None
+            self._parked = True
+            self._parked_position = position
+            self._parked_at = self.sim.now
+            return
+        self.stats_token_hops += 1
+        station = self.stations[position]
+        wants = station.top_priority()
+        if wants >= self.token_priority and station.queue:
+            self._capture(station)
+            return
+        if wants >= 0:
+            # Make a reservation in the passing token.
+            self._reservation = max(self._reservation, wants)
+        # Stacking station lowers the token when it comes back around with
+        # no demand at the stacked priority.
+        if (
+            self._stacker == position
+            and self._stack
+            and self._reservation < self.token_priority
+        ):
+            self.token_priority = self._stack.pop()
+            if not self._stack:
+                self._stacker = None
+        self.sim.schedule(
+            HOP_NS, self._token_at, (position + 1) % self.total_stations
+        )
+
+    def _capture(self, station: DetailedStation) -> None:
+        frame, on_complete = station.pop_best()
+        self._in_flight = True
+        self.stats_frames_sent += 1
+        # The station absorbs the 3-byte token before its frame's first bit
+        # goes out -- the same convention the lazy model charges at capture.
+        wire = TOKEN_TIME_NS + frame.wire_time_ns
+        # Reservations accumulate while the frame circulates.
+        self._reservation = 0
+        for other in self.stations:
+            if other is not station:
+                self._reservation = max(self._reservation, other.top_priority())
+        # Deliveries: destination sees the full frame after its hops.
+        for dst in self._destinations(frame, station):
+            hops = (dst.position - station.position) % self.total_stations
+            self.sim.schedule(wire + hops * HOP_NS, self._deliver, dst, frame)
+        release_after = wire + self.total_stations * HOP_NS
+        self.sim.schedule(release_after, self._release, station, on_complete, frame)
+
+    def _destinations(self, frame: Frame, src: DetailedStation):
+        if frame.dst == BROADCAST:
+            return [s for s in self.stations if s is not src]
+        return [s for s in self.stations if s.address == frame.dst]
+
+    def _deliver(self, dst: DetailedStation, frame: Frame) -> None:
+        if dst.receive is not None:
+            dst.receive(frame)
+
+    def _release(self, station, on_complete, frame) -> None:
+        self._in_flight = False
+        if on_complete is not None:
+            on_complete(frame, "ok")
+        reservation = max(
+            (s.top_priority() for s in self.stations), default=-1
+        )
+        reservation = max(0, reservation)
+        if reservation > self.token_priority:
+            # Stack the old priority; this station becomes the stacker.
+            self._stack.append(self.token_priority)
+            self._stacker = station.position
+            self.token_priority = reservation
+        self._reservation = 0
+        self.sim.schedule(
+            HOP_NS,
+            self._token_at,
+            (station.position + 1) % self.total_stations,
+        )

@@ -1,0 +1,138 @@
+"""Token Ring frame formats.
+
+Only the fields the paper's tools observe are modeled explicitly: the Access
+Control byte (token priority and reservation bits -- what TAP records), the
+Frame Control byte (MAC vs LLC -- how the paper classifies the 20-byte
+housekeeping frames), addresses, total length and the information field.
+Payload *contents* travel as an opaque object reference plus a synthesized
+byte prefix for TAP's 96-byte capture window.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.hardware import calibration
+
+#: Destination address meaning "all stations".
+BROADCAST = "*"
+
+_frame_ids = itertools.count(1)
+
+
+class FrameClass(enum.Enum):
+    """The Frame Control byte's frame-type field."""
+
+    #: Medium Access Control housekeeping (Ring Purge, Active Monitor
+    #: Present, Standby Monitor Present, ...).  Never passed to the host.
+    MAC = "mac"
+    #: Logical Link Control -- all host data traffic.
+    LLC = "llc"
+
+
+def wire_time_ns(info_bytes: int, framing_bytes: int = calibration.FRAME_OVERHEAD_BYTES) -> int:
+    """Time to serialize a frame with ``info_bytes`` of information field.
+
+    Includes the 802.5 framing (21 bytes for LLC frames) around the
+    information field.
+    """
+    total = info_bytes + framing_bytes
+    return total * calibration.TOKEN_RING_NS_PER_BYTE
+
+
+@dataclass
+class Frame:
+    """One frame on the ring."""
+
+    src: str
+    dst: str
+    info_bytes: int
+    priority: int = 0
+    frame_class: FrameClass = FrameClass.LLC
+    #: Which protocol the information field carries ('ctmsp', 'ip', 'arp',
+    #: 'mac', ...) -- the dispatch key at the driver's receive split point.
+    protocol: str = "ip"
+    #: Opaque payload handed to the destination (e.g. a CTMSP packet object).
+    payload: Any = None
+    #: Bytes of 802.5 framing around the information field.  MAC
+    #: housekeeping frames use a minimal header so the whole frame is "on
+    #: the order of 20 bytes" as the paper observed.
+    framing_bytes: int = calibration.FRAME_OVERHEAD_BYTES
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    #: 4 Mbit 802.5 maximum information field (token-holding time bound).
+    MAX_INFO_BYTES = 4472
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.priority <= 7:
+            raise ValueError(f"Token Ring priority must be 0..7, got {self.priority}")
+        if self.info_bytes < 0:
+            raise ValueError("negative information field")
+        if self.info_bytes > self.MAX_INFO_BYTES:
+            raise ValueError(
+                f"information field {self.info_bytes}B exceeds the 4 Mbit "
+                f"ring's {self.MAX_INFO_BYTES}B maximum"
+            )
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes on the wire including 802.5 framing."""
+        return self.info_bytes + self.framing_bytes
+
+    @property
+    def wire_time_ns(self) -> int:
+        """Serialization time at 4 Mbit/s."""
+        return wire_time_ns(self.info_bytes, self.framing_bytes)
+
+    def access_control_byte(self, reservation: int = 0) -> int:
+        """Synthesize the AC byte as TAP would record it (PPPTMRRR)."""
+        return ((self.priority & 0x7) << 5) | (reservation & 0x7)
+
+    def frame_control_byte(self) -> int:
+        """Synthesize the FC byte (frame type in the top two bits)."""
+        return 0x00 if self.frame_class is FrameClass.MAC else 0x40
+
+    def capture_prefix(self, limit: int = 96) -> bytes:
+        """First ``limit`` bytes of the information field, as TAP captures.
+
+        Real contents are synthesized deterministically from the frame id so
+        analysis code has stable bytes to look at.
+        """
+        n = min(self.info_bytes, limit)
+        seed = self.frame_id & 0xFF
+        return bytes((seed + i) & 0xFF for i in range(n))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Frame #{self.frame_id} {self.protocol} {self.src}->{self.dst} "
+            f"{self.info_bytes}B p{self.priority}>"
+        )
+
+
+#: MAC frames carry a 6-byte major-vector payload inside a 14-byte minimal
+#: header, totalling the paper's "on the order of 20 bytes" on the wire.
+_MAC_FRAMING_BYTES = 14
+_MAC_INFO_BYTES = calibration.MAC_FRAME_BYTES - _MAC_FRAMING_BYTES
+
+
+def mac_frame(src: str, kind: str = "standby_monitor_present") -> Frame:
+    """A ~20-byte MAC housekeeping frame (Section 4's interrupt-cost worry)."""
+    return Frame(
+        src=src,
+        dst=BROADCAST,
+        info_bytes=_MAC_INFO_BYTES,
+        priority=0,
+        frame_class=FrameClass.MAC,
+        protocol="mac",
+        payload=kind,
+        framing_bytes=_MAC_FRAMING_BYTES,
+    )
+
+
+def ring_purge_frame(src: str) -> Frame:
+    """The Ring Purge MAC frame the Active Monitor transmits after an error."""
+    frame = mac_frame(src, kind="ring_purge")
+    return frame

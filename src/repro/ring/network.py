@@ -1,0 +1,334 @@
+"""The token-passing medium.
+
+Access mechanics modeled:
+
+* one token; a station may capture it only for a frame whose priority is at
+  least the token's priority;
+* one frame per capture; the transmitter releases a new token after its frame
+  has circulated back (release = capture + serialization + ring latency);
+* the released token's priority is raised to the highest priority waiting
+  anywhere on the ring (the 802.5 reservation mechanism, simplified: we skip
+  the stacking-station bookkeeping but keep its observable effect -- a
+  waiting CTMSP frame gets the very next token, and the priority decays to 0
+  as soon as nothing high-priority is waiting);
+* Ring Purge makes the ring unusable for its duration and loses the frame in
+  flight, *without telling the transmitter* -- the paper's sole uncorrectable
+  loss (the stock adapter gives no Ring Purge interrupt, Section 4).
+
+The token's position advances analytically while the ring is idle, so an
+idle ring costs zero simulation events.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.hardware import calibration
+from repro.ring.frames import BROADCAST, Frame, FrameClass
+from repro.sim.engine import Handle, SimulationError, Simulator
+
+#: Time for the 3-byte token itself to pass a station.
+TOKEN_TIME_NS = calibration.TOKEN_BYTES * calibration.TOKEN_RING_NS_PER_BYTE
+
+#: Transmit-completion status values passed to ``on_complete`` callbacks.
+TX_OK = "ok"
+TX_LOST_IN_PURGE = "lost_in_purge"
+
+
+class _Request:
+    __slots__ = ("station", "frame", "on_complete", "enqueued_at")
+
+    def __init__(self, station, frame, on_complete, enqueued_at):
+        self.station = station
+        self.frame = frame
+        self.on_complete = on_complete
+        self.enqueued_at = enqueued_at
+
+
+class TokenRing:
+    """A 4 Mbit token ring shared by all attached stations.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    total_stations:
+        Physical ring size used for latency computation; the paper's ring had
+        70 stations even though only a handful are modeled in software.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        total_stations: int = calibration.TOKEN_RING_DEFAULT_STATIONS,
+    ) -> None:
+        if total_stations < 2:
+            raise ValueError("a ring needs at least two stations")
+        self.sim = sim
+        self.total_stations = total_stations
+        self.hop_ns = calibration.STATION_LATENCY_NS
+        self.stations: list = []
+        self._by_address: dict[str, object] = {}
+        #: Wire observers (TAP): called as fn(frame, t_wire_start, status).
+        self.monitors: list[Callable[[Frame, int, str], None]] = []
+
+        # token state
+        self._token_priority = 0
+        self._token_ref_pos = 0.0
+        self._token_ref_time = 0
+        self._holder: Optional[_Request] = None
+        self._capture_handle: Optional[Handle] = None
+        self._capture_target: Optional[_Request] = None
+        self._release_handle: Optional[Handle] = None
+        self._delivery_handles: list[Handle] = []
+        self._down_until = 0
+        self._purge_resume: Optional[Handle] = None
+        self._requests: list[_Request] = []
+
+        # --- statistics ---
+        self.stats_frames_sent = 0
+        self.stats_frames_lost_to_purge = 0
+        self.stats_lost_by_protocol: dict[str, int] = {}
+        self.stats_busy_ns = 0
+        self.stats_purges = 0
+        self.stats_by_protocol: dict[str, dict[str, int]] = {}
+        self.stats_token_wait_ns: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    def attach(self, station) -> int:
+        """Attach ``station``; returns its ring position."""
+        if station.address in self._by_address:
+            raise ValueError(f"duplicate ring address {station.address!r}")
+        position = len(self.stations)
+        if position >= self.total_stations:
+            raise SimulationError(
+                "more modeled stations than physical ring positions"
+            )
+        self.stations.append(station)
+        self._by_address[station.address] = station
+        return position
+
+    @property
+    def ring_latency_ns(self) -> int:
+        """One full circulation of the quiescent ring."""
+        return self.total_stations * self.hop_ns
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def request_transmit(
+        self,
+        station,
+        frame: Frame,
+        on_complete: Optional[Callable[[Frame, str], None]] = None,
+    ) -> None:
+        """Queue ``frame`` for transmission from ``station``.
+
+        ``on_complete(frame, status)`` fires when the transmitting adapter
+        sees its transmission finish.  ``status`` is :data:`TX_LOST_IN_PURGE`
+        when a Ring Purge destroyed the frame -- information the *ring* has
+        but which stock adapter firmware does not surface to the driver
+        (Section 4); adapter models decide what to do with it.
+        """
+        self._requests.append(
+            _Request(station, frame, on_complete, self.sim.now)
+        )
+        self._evaluate()
+
+    # ------------------------------------------------------------------
+    # token mechanics
+    # ------------------------------------------------------------------
+    def _token_position(self, at_time: int) -> float:
+        elapsed = at_time - self._token_ref_time
+        return (self._token_ref_pos + elapsed / self.hop_ns) % self.total_stations
+
+    def _evaluate(self) -> None:
+        """(Re)schedule the next token capture if the ring is free."""
+        if self._holder is not None or not self._requests:
+            return
+        now = self.sim.now
+        if now < self._down_until:
+            self._schedule_purge_resume()
+            return
+        eligible = [
+            r for r in self._requests if r.frame.priority >= self._token_priority
+        ]
+        if not eligible:
+            # Nothing may take the token at its current priority; in real
+            # 802.5 the stacking station lowers it after one rotation.
+            self._token_priority = max(r.frame.priority for r in self._requests)
+            eligible = [
+                r
+                for r in self._requests
+                if r.frame.priority >= self._token_priority
+            ]
+        pos = self._token_position(now)
+        best: Optional[tuple[tuple[int, int], _Request]] = None
+        for request in eligible:
+            hops = (request.station.position - pos) % self.total_stations
+            arrival = now + round(hops * self.hop_ns) + TOKEN_TIME_NS
+            # Tie-break equal arrivals (same station) by priority: a
+            # station that captures the token sends its most urgent frame
+            # first (pinned by the hop-level reference model).
+            key = (arrival, -request.frame.priority)
+            if best is None or key < best[0]:
+                best = (key, request)
+        assert best is not None
+        (arrival, _neg_priority), request = best
+        if self._capture_handle is not None:
+            if self._capture_target is request and self._capture_handle.time <= arrival:
+                return
+            self._capture_handle.cancel()
+        self._capture_target = request
+        self._capture_handle = self.sim.at(arrival, self._capture, request)
+
+    def _capture(self, request: _Request) -> None:
+        self._capture_handle = None
+        self._capture_target = None
+        if request not in self._requests:  # pragma: no cover - defensive
+            self._evaluate()
+            return
+        self._requests.remove(request)
+        self._holder = request
+        frame = request.frame
+        now = self.sim.now
+        self.stats_token_wait_ns[frame.protocol] = (
+            self.stats_token_wait_ns.get(frame.protocol, 0)
+            + (now - request.enqueued_at)
+        )
+        wire = frame.wire_time_ns
+        self.stats_busy_ns += wire
+        self._count(frame)
+        for monitor in self.monitors:
+            monitor(frame, now, "wire")
+        # Deliveries: each destination sees the full frame after it has
+        # traveled the intervening hops and been fully serialized.
+        self._delivery_handles = []
+        src_pos = request.station.position
+        for dst in self._destinations(frame):
+            hops = (dst.position - src_pos) % self.total_stations
+            t_rx = wire + round(hops * self.hop_ns)
+            self._delivery_handles.append(
+                self.sim.schedule(t_rx, self._deliver, dst, frame)
+            )
+        release_after = wire + self.ring_latency_ns
+        self._release_handle = self.sim.schedule(
+            release_after, self._release, request, TX_OK
+        )
+
+    def _destinations(self, frame: Frame) -> list:
+        if frame.dst == BROADCAST:
+            return [s for s in self.stations if s.address != frame.src]
+        dst = self._by_address.get(frame.dst)
+        return [dst] if dst is not None else []
+
+    def _deliver(self, dst, frame: Frame) -> None:
+        dst.on_frame(frame)
+
+    def _release(self, request: _Request, status: str) -> None:
+        self._release_handle = None
+        self._holder = None
+        self._delivery_handles = []
+        # Reservation: the released token carries the highest waiting
+        # priority; 0 when nothing waits.
+        self._token_priority = max(
+            (r.frame.priority for r in self._requests), default=0
+        )
+        # The released token departs *downstream*: the releasing station
+        # cannot recapture it until it circulates the whole ring (caught by
+        # cross-validation against the hop-level reference model).
+        self._token_ref_pos = (
+            request.station.position + 0.001
+        ) % self.total_stations
+        self._token_ref_time = self.sim.now
+        self.stats_frames_sent += 1
+        if request.on_complete is not None:
+            request.on_complete(request.frame, status)
+        self._evaluate()
+
+    # ------------------------------------------------------------------
+    # Ring Purge
+    # ------------------------------------------------------------------
+    def purge(self, duration: int = calibration.RING_PURGE_DURATION) -> None:
+        """The Active Monitor purges the ring.
+
+        The ring is unusable until the purge completes; a frame in flight is
+        lost.  The transmitter still sees a normal transmit completion at the
+        time its serialization would have ended (stock firmware surfaces no
+        purge indication), but with status :data:`TX_LOST_IN_PURGE` so that
+        *optional* recovery models (Section 4's hypothetical purge-interrupt
+        mode) can be built on top.
+        """
+        now = self.sim.now
+        self.stats_purges += 1
+        self._down_until = max(self._down_until, now + duration)
+        if self._capture_handle is not None:
+            self._capture_handle.cancel()
+            self._capture_handle = None
+            self._capture_target = None
+        if self._holder is not None:
+            lost = self._holder
+            self._holder = None
+            for handle in self._delivery_handles:
+                handle.cancel()
+            self._delivery_handles = []
+            if self._release_handle is not None:
+                self._release_handle.cancel()
+                self._release_handle = None
+            self.stats_frames_lost_to_purge += 1
+            proto = lost.frame.protocol
+            self.stats_lost_by_protocol[proto] = (
+                self.stats_lost_by_protocol.get(proto, 0) + 1
+            )
+            for monitor in self.monitors:
+                monitor(lost.frame, now, "lost")
+            # The adapter believes the transmit completed normally at the
+            # time serialization would have finished.
+            tx_end = max(now + 1, now)  # serialization truncated by the purge
+            self.sim.at(
+                tx_end, self._notify_lost_transmitter, lost
+            )
+        self._schedule_purge_resume()
+
+    def _notify_lost_transmitter(self, request: _Request) -> None:
+        if request.on_complete is not None:
+            request.on_complete(request.frame, TX_LOST_IN_PURGE)
+
+    def _schedule_purge_resume(self) -> None:
+        if self._purge_resume is not None:
+            if self._purge_resume.time >= self._down_until:
+                return
+            self._purge_resume.cancel()
+        self._purge_resume = self.sim.at(self._down_until, self._purge_done)
+
+    def _purge_done(self) -> None:
+        self._purge_resume = None
+        if self.sim.now < self._down_until:
+            self._schedule_purge_resume()
+            return
+        # Fresh token from the Active Monitor at priority 0, position 0.
+        self._token_priority = 0
+        self._token_ref_pos = 0.0
+        self._token_ref_time = self.sim.now
+        self._evaluate()
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def _count(self, frame: Frame) -> None:
+        entry = self.stats_by_protocol.setdefault(
+            frame.protocol, {"frames": 0, "bytes": 0, "wire_ns": 0}
+        )
+        entry["frames"] += 1
+        entry["bytes"] += frame.wire_bytes
+        entry["wire_ns"] += frame.wire_time_ns
+
+    def utilization(self, elapsed_ns: int) -> float:
+        """Fraction of ``elapsed_ns`` the wire carried frames."""
+        return self.stats_busy_ns / elapsed_ns if elapsed_ns else 0.0
+
+    def pending_count(self) -> int:
+        """Frames queued ring-wide awaiting the token."""
+        return len(self._requests) + (1 if self._holder else 0)

@@ -1,0 +1,306 @@
+"""The discrete-event engine: simulator, events, coroutine processes.
+
+The design follows the classic event-calendar pattern: a binary heap of
+``(time, sequence, action)`` entries, a monotonically non-decreasing ``now``,
+and two complementary programming models on top:
+
+* **callbacks** -- ``sim.schedule(delay, fn, *args)`` for fire-and-forget
+  hardware behaviour (an adapter raising an interrupt line);
+* **coroutine processes** -- generators that ``yield`` :class:`Event` objects,
+  for behaviours with sequential structure (a driver transmit path, a traffic
+  generator loop).
+
+Both models interoperate: a callback can ``succeed()`` an event a process is
+waiting on, and a process can schedule callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal uses of the simulation kernel."""
+
+
+class ProcessKilled(Exception):
+    """Thrown into a process generator when :meth:`Process.kill` is called."""
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    An event starts *pending*; exactly one call to :meth:`succeed` (or
+    :meth:`fail`) resolves it, after which its callbacks run within the same
+    simulated instant.  Waiting on an already-resolved event resumes the
+    waiter immediately (still via the calendar, preserving causal ordering).
+    """
+
+    __slots__ = ("sim", "_callbacks", "_ok", "value", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._ok: Optional[bool] = None
+        self.value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been resolved (succeeded or failed)."""
+        return self._ok is not None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return bool(self._ok)
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event resolves (immediately if it has)."""
+        if self._callbacks is None:
+            self.sim.schedule(0, fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Resolve the event successfully, waking all waiters."""
+        self._resolve(True, value)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Resolve the event with an exception; waiting processes see a raise."""
+        self._resolve(False, exception)
+        return self
+
+    def _resolve(self, ok: bool, value: Any) -> None:
+        if self._ok is not None:
+            raise SimulationError(f"event {self.name or id(self)} resolved twice")
+        self._ok = ok
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, None
+        assert callbacks is not None
+        for fn in callbacks:
+            self.sim.schedule(0, fn, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if self._ok is None else ("ok" if self._ok else "failed")
+        return f"<Event {self.name or hex(id(self))} {state}>"
+
+
+class Handle:
+    """A cancellable scheduled callback returned by :meth:`Simulator.schedule`."""
+
+    __slots__ = ("time", "cancelled")
+
+    def __init__(self, time: int) -> None:
+        self.time = time
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (a no-op if it already ran)."""
+        self.cancelled = True
+
+
+class Process(Event):
+    """A coroutine behaviour: a generator that yields :class:`Event` objects.
+
+    The process is itself an :class:`Event` that succeeds with the
+    generator's return value, so processes can wait on each other.  Throwing
+    :class:`ProcessKilled` into the generator via :meth:`kill` terminates it;
+    a killed process *fails* with the :class:`ProcessKilled` instance unless
+    the generator swallows the exception and returns normally.
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> None:
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        sim.schedule(0, self._step, None)
+
+    def kill(self) -> None:
+        """Terminate the process by throwing :class:`ProcessKilled` into it."""
+        if self.triggered:
+            return
+        self._waiting_on = None
+        exc = ProcessKilled(self.name)
+        try:
+            self._gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except ProcessKilled:
+            self.fail(exc)
+            return
+        # Generator swallowed the kill and yielded again: treat as a bug --
+        # a killed behaviour must wind down, not keep scheduling work.
+        raise SimulationError(f"process {self.name} ignored kill()")
+
+    def _step(self, fired: Optional[Event]) -> None:
+        if self.triggered:
+            return
+        if fired is not None and fired is not self._waiting_on:
+            return  # stale wakeup from an event we stopped waiting on
+        self._waiting_on = None
+        try:
+            if fired is not None and not fired.ok:
+                target = self._gen.throw(fired.value)
+            else:
+                target = self._gen.send(fired.value if fired is not None else None)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except ProcessKilled as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name} yielded {target!r}; processes may only "
+                "yield Event objects"
+            )
+        self._waiting_on = target
+        target.add_callback(self._step)
+
+
+class Simulator:
+    """The event calendar.
+
+    ``now`` is the current simulated time in nanoseconds.  All mutation of
+    simulated state must happen from inside a scheduled callback or process
+    step; the calendar guarantees callbacks run in (time, FIFO) order.
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[tuple[int, int, Handle, Callable, tuple]] = []
+        self._seq = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay_ns: int, fn: Callable, *args: Any) -> Handle:
+        """Run ``fn(*args)`` after ``delay_ns`` nanoseconds."""
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay_ns}ns)")
+        return self.at(self.now + int(delay_ns), fn, *args)
+
+    def at(self, time_ns: int, fn: Callable, *args: Any) -> Handle:
+        """Run ``fn(*args)`` at absolute simulated time ``time_ns``."""
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time_ns}ns, now is {self.now}ns"
+            )
+        handle = Handle(time_ns)
+        self._seq += 1
+        heapq.heappush(self._queue, (time_ns, self._seq, handle, fn, args))
+        return handle
+
+    def event(self, name: str = "") -> Event:
+        """Create a pending :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay_ns: int, value: Any = None) -> Event:
+        """An event that succeeds ``delay_ns`` from now."""
+        ev = Event(self, name=f"timeout+{delay_ns}")
+        self.schedule(delay_ns, ev.succeed, value)
+        return ev
+
+    def process(
+        self, gen: Generator[Event, Any, Any], name: str = ""
+    ) -> Process:
+        """Start a coroutine process (begins running at the current instant)."""
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """An event that succeeds when the first of ``events`` succeeds.
+
+        The value is the ``(event, value)`` pair of the first to resolve.
+        """
+        events = list(events)
+        combined = self.event(name="any_of")
+
+        def on_fire(ev: Event) -> None:
+            if not combined.triggered:
+                if ev.ok:
+                    combined.succeed((ev, ev.value))
+                else:
+                    combined.fail(ev.value)
+
+        for ev in events:
+            ev.add_callback(on_fire)
+        return combined
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event that succeeds when all of ``events`` have succeeded."""
+        events = list(events)
+        combined = self.event(name="all_of")
+        remaining = len(events)
+        if remaining == 0:
+            combined.succeed([])
+            return combined
+        values: list[Any] = [None] * remaining
+
+        def make_callback(index: int) -> Callable[[Event], None]:
+            def on_fire(ev: Event) -> None:
+                nonlocal remaining
+                if combined.triggered:
+                    return
+                if not ev.ok:
+                    combined.fail(ev.value)
+                    return
+                values[index] = ev.value
+                remaining -= 1
+                if remaining == 0:
+                    combined.succeed(values)
+
+            return on_fire
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_callback(i))
+        return combined
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None) -> None:
+        """Process events until the calendar empties or ``now`` reaches ``until``.
+
+        When ``until`` is given, ``now`` is advanced to exactly ``until`` on
+        return even if the calendar drained earlier, so back-to-back
+        ``run(until=...)`` calls see a continuous clock.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            queue = self._queue
+            while queue:
+                time_ns, _seq, handle, fn, args = queue[0]
+                if until is not None and time_ns > until:
+                    break
+                heapq.heappop(queue)
+                if handle.cancelled:
+                    continue
+                self.now = time_ns
+                fn(*args)
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+
+    def peek(self) -> Optional[int]:
+        """Time of the next non-cancelled entry, or None if the calendar is empty."""
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0][0] if self._queue else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self.now}ns queued={len(self._queue)}>"

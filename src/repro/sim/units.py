@@ -1,0 +1,73 @@
+"""Simulated-time units.
+
+All simulated time in :mod:`repro` is an ``int`` number of nanoseconds.  The
+paper works at three very different resolutions -- the logic analyzer resolves
+500 ns of jitter on the VCA interrupt line, the PC/AT timestamper ticks every
+2 microseconds, and the RT/PC kernel clock only every 122 microseconds -- so the
+base unit must be fine enough to express all of them exactly.  Integers keep
+the event schedule deterministic (no floating-point drift across platforms).
+"""
+
+from __future__ import annotations
+
+#: One nanosecond (the base unit).
+NS = 1
+#: One microsecond in nanoseconds.
+US = 1_000
+#: One millisecond in nanoseconds.
+MS = 1_000_000
+#: One second in nanoseconds.
+SEC = 1_000_000_000
+#: One minute in nanoseconds.
+MINUTE = 60 * SEC
+#: One hour in nanoseconds.
+HOUR = 3600 * SEC
+#: One day in nanoseconds.
+DAY = 24 * HOUR
+
+
+def from_us(microseconds: float) -> int:
+    """Convert a (possibly fractional) microsecond count to integer ns."""
+    return round(microseconds * US)
+
+
+def from_ms(milliseconds: float) -> int:
+    """Convert a (possibly fractional) millisecond count to integer ns."""
+    return round(milliseconds * MS)
+
+
+def from_sec(seconds: float) -> int:
+    """Convert a (possibly fractional) second count to integer ns."""
+    return round(seconds * SEC)
+
+
+def to_us(t_ns: int) -> float:
+    """Express a nanosecond time as microseconds."""
+    return t_ns / US
+
+
+def to_ms(t_ns: int) -> float:
+    """Express a nanosecond time as milliseconds."""
+    return t_ns / MS
+
+
+def to_sec(t_ns: int) -> float:
+    """Express a nanosecond time as seconds."""
+    return t_ns / SEC
+
+
+def format_time(t_ns: int) -> str:
+    """Render a simulated time with a human-appropriate unit.
+
+    >>> format_time(2_600_000)
+    '2600.0us'
+    >>> format_time(12_000_000)
+    '12.000ms'
+    """
+    if t_ns < 10 * US:
+        return f"{t_ns}ns"
+    if t_ns < 10 * MS:
+        return f"{t_ns / US:.1f}us"
+    if t_ns < 10 * SEC:
+        return f"{t_ns / MS:.3f}ms"
+    return f"{t_ns / SEC:.3f}s"

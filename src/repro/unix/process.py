@@ -1,0 +1,90 @@
+"""User processes and their syscall surface.
+
+The stock UNIX transfer model (Figure 2-1) is "a user level process that
+reads the data from one device and writes the data to a second device"; this
+module provides exactly that programming surface.  A process body is a
+generator taking a :class:`UserProcess` handle; device I/O goes through
+``yield from proc.read(...)`` / ``proc.write(...)`` / ``proc.ioctl(...)``,
+each charging syscall overhead and delegating to the device driver's
+generator (which performs the copies and blocking).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.hardware import calibration
+from repro.hardware.cpu import Exec, Wait
+from repro.sim.engine import Event
+from repro.unix.kernel import Kernel
+
+
+class UserProcess:
+    """A handle for one user process on one machine."""
+
+    def __init__(self, kernel: Kernel, name: str = "proc") -> None:
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.name = name
+        self.done: Event | None = None
+        self.stats_syscalls = 0
+
+    def start(
+        self, body: Callable[["UserProcess"], Generator]
+    ) -> Event:
+        """Launch ``body(self)`` as a base-level frame; returns its done event."""
+        self.done = self.kernel.spawn_process(body(self), name=self.name)
+        return self.done
+
+    # ------------------------------------------------------------------
+    # syscalls (``yield from`` helpers usable inside the body)
+    # ------------------------------------------------------------------
+    def read(self, device_name: str, nbytes: int) -> Generator:
+        """``read(fd, buf, n)`` from a character device.
+
+        Returns whatever the device's ``dev_read`` returns (bytes
+        transferred, possibly with blocking inside).
+        """
+        self.stats_syscalls += 1
+        yield Exec(calibration.SYSCALL_OVERHEAD)
+        device = self.kernel.device(device_name)
+        result = yield from device.dev_read(self, nbytes)
+        return result
+
+    def write(self, device_name: str, nbytes: int, payload: Any = None) -> Generator:
+        """``write(fd, buf, n)`` to a character device."""
+        self.stats_syscalls += 1
+        yield Exec(calibration.SYSCALL_OVERHEAD)
+        device = self.kernel.device(device_name)
+        result = yield from device.dev_write(self, nbytes, payload)
+        return result
+
+    def ioctl(self, device_name: str, op: str, arg: Any = None) -> Generator:
+        """``ioctl(fd, op, arg)`` -- how the paper wires drivers together."""
+        self.stats_syscalls += 1
+        yield Exec(calibration.SYSCALL_OVERHEAD)
+        device = self.kernel.device(device_name)
+        result = yield from device.dev_ioctl(self, op, arg)
+        return result
+
+    def sleep_ns(self, duration: int) -> Generator:
+        """Voluntarily block for ``duration`` (like select with a timeout)."""
+        yield Wait(self.sim.timeout(duration))
+
+    def sleep_timeout(self, duration: int) -> Generator:
+        """Block like BSD ``sleep()``/``select()``: wakeup on a clock tick.
+
+        Timed wakeups in 4.3BSD happen from ``softclock`` at the next clock
+        interrupt after the timeout expires, so user processes resume only
+        on 10 ms tick boundaries.  This quantization matters: the 10 ms tick
+        beating against the VCA's 12 ms period is part of what phase-aligns
+        background socket traffic with the CTMSP stream (Figure 5-2).
+        """
+        tick = calibration.CLOCK_TICK
+        target = self.sim.now + duration
+        wake_at = ((target + tick - 1) // tick) * tick
+        yield Wait(self.sim.timeout(max(1, wake_at - self.sim.now)))
+
+    def compute(self, work_ns: int) -> Generator:
+        """Burn user-mode CPU (for load-generating processes)."""
+        yield Exec(work_ns)

@@ -1,0 +1,106 @@
+"""Tests for sequence tracking and stream statistics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ctmsp import standard_packet
+from repro.core.recovery import DUPLICATE, GAP, OK, REORDERED, SequenceTracker
+from repro.core.stream import StreamStats
+from repro.sim.units import MS, SEC
+
+
+def test_in_order_stream_is_all_ok():
+    tracker = SequenceTracker()
+    assert [tracker.record(i) for i in range(5)] == [OK] * 5
+    assert tracker.delivered == 5
+    assert tracker.lost_packets == 0
+
+
+def test_stream_may_start_at_any_number():
+    tracker = SequenceTracker()
+    assert tracker.record(1000) == OK
+    assert tracker.record(1001) == OK
+
+
+def test_single_loss_detected_as_gap():
+    tracker = SequenceTracker()
+    tracker.record(0)
+    assert tracker.record(2) == GAP
+    assert tracker.lost_packets == 1
+    assert tracker.gaps == 1
+    # Stream continues normally afterwards.
+    assert tracker.record(3) == OK
+
+
+def test_duplicate_ignored():
+    tracker = SequenceTracker()
+    tracker.record(0)
+    tracker.record(1)
+    assert tracker.record(1) == DUPLICATE
+    assert tracker.duplicates == 1
+    assert tracker.delivered == 2
+
+
+def test_late_fill_of_gap_counts_as_reordered():
+    tracker = SequenceTracker()
+    tracker.record(0)
+    tracker.record(2)  # gap: 1 missing
+    assert tracker.record(1) == REORDERED
+    assert tracker.lost_packets == 0
+    assert tracker.reordered == 1
+
+
+def test_loss_fraction():
+    tracker = SequenceTracker()
+    tracker.record(0)
+    tracker.record(4)  # 3 lost
+    assert tracker.loss_fraction() == 3 / 5
+
+
+@given(st.integers(min_value=1, max_value=300))
+def test_gapless_streams_never_report_loss(n):
+    tracker = SequenceTracker()
+    for i in range(n):
+        assert tracker.record(i) == OK
+    assert tracker.loss_fraction() == 0.0
+
+
+@given(st.sets(st.integers(min_value=0, max_value=200), min_size=1))
+def test_monotone_subsequence_loss_accounting(present):
+    """Delivering any ordered subset: lost = skipped numbers inside range."""
+    tracker = SequenceTracker()
+    ordered = sorted(present)
+    for n in ordered:
+        tracker.record(n)
+    expected_lost = (ordered[-1] - ordered[0] + 1) - len(ordered)
+    assert tracker.lost_packets == expected_lost
+    assert tracker.delivered == len(ordered)
+
+
+def test_stream_stats_latency_and_throughput():
+    stats = StreamStats()
+    for i in range(3):
+        pkt = standard_packet(1, i, 7)
+        pkt.born_at = i * 12 * MS
+        stats.record_delivery(pkt, i * 12 * MS + 11 * MS)
+    assert stats.delivered == 3
+    assert stats.max_latency_ns() == 11 * MS
+    assert stats.inter_arrival_ns() == [12 * MS, 12 * MS]
+    # 2 packets * 2000B over 24ms window after the first arrival.
+    assert stats.throughput_bytes_per_sec() > 100_000
+
+
+def test_stream_stats_duplicate_not_counted():
+    stats = StreamStats()
+    pkt = standard_packet(1, 0, 7)
+    stats.record_delivery(pkt, 5 * MS)
+    stats.record_delivery(pkt, 6 * MS, outcome="duplicate")
+    assert stats.delivered == 1
+    assert stats.duplicates == 1
+
+
+def test_stream_stats_empty():
+    stats = StreamStats()
+    assert stats.throughput_bytes_per_sec() == 0.0
+    assert stats.max_latency_ns() == 0
+    assert stats.inter_arrival_ns() == []

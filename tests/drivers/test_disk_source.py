@@ -1,0 +1,140 @@
+"""Tests for the disk-backed CTMS source (the media file server role)."""
+
+import pytest
+
+from repro.drivers.disk_source import DiskSourceConfig, DiskStreamSource
+from repro.experiments.testbed import HostConfig
+from repro.experiments.testbed import Testbed as _Testbed
+from repro.hardware.disk import DiskAdapter
+from repro.hardware.memory import Region
+from repro.sim.units import MS, SEC
+from repro.unix.process import UserProcess
+
+
+def build_server(config=None, seed=12):
+    bed = _Testbed(seed=seed, mac_utilization=0.0)
+    server = bed.add_host(HostConfig(name="server"))
+    client = bed.add_host(HostConfig(name="client"))
+    disk = DiskAdapter(server.machine)
+    server.machine.add_adapter("hd0", disk)
+    source = DiskStreamSource(
+        server.kernel, disk, server.tr_driver, config
+    )
+
+    # Register the client's VCA as the sink.
+    def sink_setup(proc):
+        yield from proc.ioctl(
+            "vca0", "CTMS_ATTACH_SINK", {"tr_driver": client.tr_driver}
+        )
+
+    UserProcess(client.kernel, "sink-setup").start(sink_setup)
+
+    def server_setup(proc):
+        yield from source.bind("client", client.vca_driver.device_number)
+        source.start()
+
+    UserProcess(server.kernel, "server-setup").start(server_setup)
+    return bed, server, client, source
+
+
+def test_disk_stream_delivers_at_rate():
+    bed, server, client, source = build_server()
+    bed.run(5 * SEC)
+    stats = client.vca_driver.stream_stats
+    assert stats.delivered > 390  # ~83/s for 5s minus startup
+    assert client.vca_driver.tracker.lost_packets == 0
+    assert source.stats_underruns == 0
+    # ~166 KB/s on the wire.
+    assert stats.throughput_bytes_per_sec() == pytest.approx(166_666, rel=0.02)
+
+
+def test_disk_stream_is_zero_copy_on_the_cpu():
+    """Disk DMA -> IOCM staging -> adapter DMA: no bulk CPU copies."""
+    bed, server, client, source = build_server()
+    bed.run(3 * SEC)
+    ledger = server.kernel.ledger
+    bulk_cpu = [
+        rec for rec in ledger.cpu.values()
+        if rec.copies and rec.bytes / rec.copies >= 1000
+    ]
+    assert bulk_cpu == []
+    # The data moved by DMA twice: disk->staging is internal to the disk
+    # model; staging->adapter is the recorded fetch.
+    assert (Region.IO_CHANNEL, Region.ADAPTER) in ledger.dma
+
+
+def test_disk_reads_track_consumption():
+    bed, server, client, source = build_server()
+    bed.run(5 * SEC)
+    # ~166KB/s consumed -> roughly one 16KB read per 98ms.
+    expected = 5 * 166_666 / 16_384
+    assert source.stats_disk_reads == pytest.approx(expected, rel=0.25)
+
+
+def test_underrun_when_disk_is_hammered():
+    """A competing random-access disk user starves the read-ahead."""
+    bed, server, client, source = build_server(
+        config=DiskSourceConfig(readahead_low_water=4_000, readahead_high_water=8_000)
+    )
+    disk = server.machine.adapters["hd0"]
+    rng = server.machine.rng.get("hammer")
+
+    # Closed-loop competing disk user: one random 24KB read at a time.
+    def hammer():
+        def next_read():
+            bed.sim.schedule(2 * MS, hammer)
+            yield from iter(())
+
+        disk.read(rng.randrange(0, 10**8), 24_576, Region.SYSTEM, next_read)
+
+    bed.sim.schedule(1 * SEC, hammer)
+    bed.run(6 * SEC)
+    assert source.stats_underruns > 0
+    # Underruns are late periods, not sequence gaps: the sink sees long
+    # inter-arrival stalls (the audible glitches) but no missing numbers.
+    assert client.vca_driver.tracker.gaps == 0
+    stalls = [g for g in client.vca_driver.stream_stats.inter_arrival_ns() if g > 20 * MS]
+    assert stalls
+
+
+def test_deeper_readahead_survives_the_same_hammering():
+    bed, server, client, source = build_server(
+        config=DiskSourceConfig(
+            readahead_low_water=48_000, readahead_high_water=96_000
+        )
+    )
+    disk = server.machine.adapters["hd0"]
+    rng = server.machine.rng.get("hammer")
+
+    # Closed-loop competing disk user: one random 24KB read at a time.
+    def hammer():
+        def next_read():
+            bed.sim.schedule(2 * MS, hammer)
+            yield from iter(())
+
+        disk.read(rng.randrange(0, 10**8), 24_576, Region.SYSTEM, next_read)
+
+    bed.sim.schedule(1 * SEC, hammer)
+    bed.run(6 * SEC)
+    assert source.stats_underruns == 0
+
+
+def test_start_before_bind_raises():
+    bed = _Testbed(seed=1, mac_utilization=0.0)
+    server = bed.add_host(HostConfig(name="server"))
+    bed.add_host(HostConfig(name="anchor"))
+    disk = DiskAdapter(server.machine)
+    source = DiskStreamSource(server.kernel, disk, server.tr_driver)
+    with pytest.raises(RuntimeError):
+        source.start()
+
+
+def test_tiny_packet_config_rejected():
+    bed = _Testbed(seed=1, mac_utilization=0.0)
+    server = bed.add_host(HostConfig(name="server"))
+    bed.add_host(HostConfig(name="anchor"))
+    disk = DiskAdapter(server.machine)
+    with pytest.raises(ValueError):
+        DiskStreamSource(
+            server.kernel, disk, server.tr_driver, DiskSourceConfig(packet_bytes=8)
+        )

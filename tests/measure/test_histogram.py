@@ -1,0 +1,108 @@
+"""Tests for the histogram toolkit."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.measure.histogram import Histogram
+from repro.sim.units import MS, US
+
+
+def test_basic_stats():
+    h = Histogram([1000, 2000, 3000], name="t")
+    assert h.count == 3
+    assert h.mean() == 2000
+    assert h.min() == 1000 and h.max() == 3000
+    assert h.std() == pytest.approx(1000.0)
+
+
+def test_empty_histogram_raises_on_stats():
+    h = Histogram()
+    with pytest.raises(ValueError):
+        h.mean()
+    assert len(h) == 0
+
+
+def test_fraction_within_paper_idiom():
+    # "68% of the data points within 500us of 2600us"
+    samples = [2600 * US] * 68 + [9400 * US] * 15 + [5000 * US] * 17
+    h = Histogram(samples)
+    assert h.fraction_within(2600 * US, 500 * US) == pytest.approx(0.68)
+    assert h.fraction_within(9400 * US, 500 * US) == pytest.approx(0.15)
+    assert h.fraction_between(2800 * US, 9300 * US) == pytest.approx(0.17)
+
+
+def test_percentile_nearest_rank():
+    h = Histogram(list(range(1, 101)))
+    assert h.percentile(50) == 50
+    assert h.percentile(98) == 98
+    assert h.percentile(100) == 100
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_primary_mode():
+    h = Histogram([2600 * US] * 50 + [9400 * US] * 10, bin_width=100 * US)
+    assert abs(h.primary_mode() - 2600 * US) <= 100 * US
+
+
+def test_modes_detects_bimodality():
+    import random
+
+    rng = random.Random(1)
+    samples = [round(rng.gauss(2600, 150)) * US for _ in range(300)]
+    samples += [round(rng.gauss(9400, 300)) * US for _ in range(80)]
+    h = Histogram(samples, bin_width=250 * US)
+    modes = h.modes(min_separation=2 * MS)
+    assert len(modes) == 2
+    assert abs(modes[0] - 2600 * US) < 600 * US
+    assert abs(modes[1] - 9400 * US) < 900 * US
+
+
+def test_unimodal_has_single_mode():
+    import random
+
+    rng = random.Random(2)
+    samples = [round(rng.gauss(10894, 60)) * US for _ in range(500)]
+    h = Histogram(samples, bin_width=100 * US)
+    assert len(h.modes(min_separation=1 * MS)) == 1
+
+
+def test_ascii_rendering_contains_bars():
+    h = Histogram([1000 * US] * 10 + [1100 * US] * 5, name="demo")
+    art = h.to_ascii()
+    assert "demo" in art
+    assert "#" in art
+
+
+def test_ascii_empty():
+    assert "(empty)" in Histogram(name="x").to_ascii()
+
+
+def test_invalid_bin_width():
+    with pytest.raises(ValueError):
+        Histogram(bin_width=0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=200))
+def test_bins_partition_all_samples(samples):
+    h = Histogram(samples, bin_width=777)
+    assert sum(h.bins().values()) == len(samples)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=10**7), min_size=2, max_size=100),
+    st.integers(min_value=0, max_value=10**7),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_fraction_within_bounds(samples, center, halfwidth):
+    h = Histogram(samples)
+    f = h.fraction_within(center, halfwidth)
+    assert 0.0 <= f <= 1.0
+
+
+def test_summary_fields():
+    h = Histogram([2 * MS, 3 * MS], name="s")
+    s = h.summary()
+    assert s["count"] == 2
+    assert s["mean_us"] == 2500.0

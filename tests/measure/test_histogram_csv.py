@@ -1,0 +1,26 @@
+"""Tests for histogram CSV export."""
+
+from repro.measure.histogram import Histogram
+from repro.sim.units import US
+
+
+def test_csv_has_header_and_rows():
+    h = Histogram([100 * US, 150 * US, 900 * US], bin_width=100 * US)
+    csv = h.to_csv()
+    lines = csv.strip().splitlines()
+    assert lines[0] == "bin_start_us,count"
+    assert "100.0,2" in lines
+    assert "900.0,1" in lines
+
+
+def test_csv_row_counts_sum_to_samples():
+    h = Histogram(list(range(0, 10_000, 7)), bin_width=500)
+    total = sum(
+        int(line.split(",")[1])
+        for line in h.to_csv().strip().splitlines()[1:]
+    )
+    assert total == h.count
+
+
+def test_csv_empty_histogram():
+    assert Histogram().to_csv() == "bin_start_us,count\n"

@@ -1,0 +1,291 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    MS,
+    Process,
+    ProcessKilled,
+    SimulationError,
+    Simulator,
+    US,
+)
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, order.append, "c")
+    sim.schedule(10, order.append, "a")
+    sim.schedule(20, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_time_events_run_fifo():
+    sim = Simulator()
+    order = []
+    for tag in "abcd":
+        sim.schedule(5, order.append, tag)
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, fired.append, 1)
+    sim.schedule(300, fired.append, 2)
+    sim.run(until=200)
+    assert fired == [1]
+    assert sim.now == 200
+    sim.run(until=400)
+    assert fired == [1, 2]
+    assert sim.now == 400
+
+
+def test_run_until_advances_clock_even_when_empty():
+    sim = Simulator()
+    sim.run(until=5 * MS)
+    assert sim.now == 5 * MS
+
+
+def test_cannot_schedule_into_the_past():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(5, lambda: None)
+
+
+def test_cancelled_handle_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(10, fired.append, "x")
+    sim.schedule(20, fired.append, "y")
+    handle.cancel()
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_event_succeed_wakes_callbacks_once():
+    sim = Simulator()
+    got = []
+    ev = sim.event("e")
+    ev.add_callback(lambda e: got.append(e.value))
+    sim.schedule(7, ev.succeed, 42)
+    sim.run()
+    assert got == [42]
+    assert ev.triggered and ev.ok
+
+
+def test_event_cannot_resolve_twice():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_callback_on_already_triggered_event_still_runs():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("late")
+    got = []
+    ev.add_callback(lambda e: got.append(e.value))
+    sim.run()
+    assert got == ["late"]
+
+
+def test_process_sequences_timeouts():
+    sim = Simulator()
+    trace = []
+
+    def behaviour():
+        trace.append(("start", sim.now))
+        yield sim.timeout(10 * US)
+        trace.append(("mid", sim.now))
+        yield sim.timeout(5 * US)
+        trace.append(("end", sim.now))
+        return "done"
+
+    proc = sim.process(behaviour())
+    sim.run()
+    assert trace == [("start", 0), ("mid", 10 * US), ("end", 15 * US)]
+    assert proc.triggered and proc.value == "done"
+
+
+def test_process_receives_event_value():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append(value)
+
+    sim.process(waiter())
+    sim.schedule(3, ev.succeed, "payload")
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_processes_can_wait_on_processes():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(100)
+        return 99
+
+    def parent():
+        value = yield sim.process(child())
+        return value + 1
+
+    proc = sim.process(parent())
+    sim.run()
+    assert proc.value == 100
+
+
+def test_failed_event_raises_inside_process():
+    sim = Simulator()
+    ev = sim.event()
+    outcome = []
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as exc:
+            outcome.append(str(exc))
+
+    sim.process(waiter())
+    sim.schedule(1, ev.fail, ValueError("boom"))
+    sim.run()
+    assert outcome == ["boom"]
+
+
+def test_kill_process_interrupts_wait():
+    sim = Simulator()
+    reached_end = []
+
+    def behaviour():
+        yield sim.timeout(1 * MS)
+        reached_end.append(True)
+
+    proc = sim.process(behaviour())
+    sim.run(until=10)
+    proc.kill()
+    sim.run()
+    assert not reached_end
+    assert proc.triggered and not proc.ok
+    assert isinstance(proc.value, ProcessKilled)
+
+
+def test_killed_process_can_clean_up_and_return():
+    sim = Simulator()
+    cleanup = []
+
+    def behaviour():
+        try:
+            yield sim.timeout(1 * MS)
+        except ProcessKilled:
+            cleanup.append("closed")
+        return "graceful"
+
+    proc = sim.process(behaviour())
+    sim.run(until=10)
+    proc.kill()
+    sim.run()
+    assert cleanup == ["closed"]
+    assert proc.ok and proc.value == "graceful"
+
+
+def test_process_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield 5  # type: ignore[misc]
+
+    sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_stale_wakeup_after_kill_is_ignored():
+    # A timeout that fires after the process was killed must not resume it.
+    sim = Simulator()
+
+    def behaviour():
+        yield sim.timeout(50)
+
+    proc = sim.process(behaviour())
+    sim.run(until=10)
+    proc.kill()
+    sim.run()  # the 50ns timeout still fires; must not blow up
+    assert proc.triggered
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+    a = sim.timeout(20, "a")
+    b = sim.timeout(10, "b")
+    got = []
+
+    def waiter():
+        ev, value = yield sim.any_of([a, b])
+        got.append(value)
+
+    sim.process(waiter())
+    sim.run()
+    assert got == ["b"]
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulator()
+    a = sim.timeout(20, "a")
+    b = sim.timeout(10, "b")
+    got = []
+
+    def waiter():
+        values = yield sim.all_of([a, b])
+        got.append(values)
+
+    sim.process(waiter())
+    sim.run()
+    assert got == [["a", "b"]]
+    assert sim.now == 20
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+    done = []
+
+    def waiter():
+        values = yield sim.all_of([])
+        done.append(values)
+
+    sim.process(waiter())
+    sim.run()
+    assert done == [[]]
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    h = sim.schedule(5, lambda: None)
+    sim.schedule(9, lambda: None)
+    h.cancel()
+    assert sim.peek() == 9
+
+
+def test_process_is_named():
+    sim = Simulator()
+
+    def behaviour():
+        yield sim.timeout(1)
+
+    proc = sim.process(behaviour(), name="tx-path")
+    assert isinstance(proc, Process)
+    assert proc.name == "tx-path"
+    sim.run()

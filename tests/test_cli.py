@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+def test_list_shows_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in COMMANDS:
+        assert name in out
+
+
+def test_no_command_defaults_to_list(capsys):
+    assert main([]) == 0
+    assert "available experiments" in capsys.readouterr().out
+
+
+def test_quickstart_runs(capsys):
+    assert main(["quickstart", "--seconds", "2", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "delivered" in out
+    assert "0 lost" in out
+
+
+def test_copies_runs(capsys):
+    assert main(["copies", "--seconds", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "user_process" in out and "[ok]" in out
+
+
+def test_fig5_3_runs(capsys):
+    assert main(["fig5-3", "--seconds", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5-3" in out
+    assert "10740us" in out  # the paper column
+
+
+def test_histograms_requires_case():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["histograms"])
+
+
+def test_histograms_runs(capsys):
+    assert main(["histograms", "a", "--seconds", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Histograms 1-7" in out
+    assert "h6" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,127 @@
+"""Tests for user-process scheduling details the baseline depends on."""
+
+import pytest
+
+from repro.experiments.testbed import HostConfig
+from repro.experiments.testbed import Testbed as _Testbed
+from repro.hardware import calibration
+from repro.sim.units import MS, SEC, US
+from repro.unix.process import UserProcess
+
+
+def build_host(seed=7, multiprogramming=False):
+    bed = _Testbed(seed=seed, mac_utilization=0.0)
+    host = bed.add_host(
+        HostConfig(name="host", multiprogramming=multiprogramming)
+    )
+    bed.add_host(HostConfig(name="anchor"))
+    return bed, host
+
+
+def test_sleep_timeout_wakes_on_clock_tick_boundaries():
+    """BSD timed wakeups happen from softclock at the next tick."""
+    bed, host = build_host()
+    wake_times = []
+
+    def body(proc):
+        for request in (3 * MS, 7 * MS, 25 * MS):
+            yield from proc.sleep_timeout(request)
+            wake_times.append(bed.sim.now)
+
+    UserProcess(host.kernel, "sleeper").start(body)
+    bed.run(200 * MS)
+    tick = calibration.CLOCK_TICK
+    assert len(wake_times) == 3
+    # The wakeup fires on the tick; the process then pays dispatch and
+    # context-switch costs before its first instruction runs.
+    for t in wake_times:
+        assert t % tick <= 500 * US, t
+
+
+def test_sleep_ns_wakes_exactly():
+    bed, host = build_host()
+    wake_times = []
+
+    def body(proc):
+        yield from proc.sleep_ns(3 * MS + 7 * US)
+        wake_times.append(bed.sim.now)
+
+    UserProcess(host.kernel, "sleeper").start(body)
+    bed.run(100 * MS)
+    # Exact wake (the process still waits for the CPU afterwards, but the
+    # timestamp here is taken as its first instruction runs).
+    assert wake_times[0] >= 3 * MS + 7 * US
+    assert wake_times[0] < 4 * MS
+
+
+def test_round_robin_shares_cpu_between_two_hogs():
+    bed, host = build_host()
+    progress = {"a": 0, "b": 0}
+
+    def hog(tag):
+        def body(proc):
+            while True:
+                yield from proc.compute(1 * MS)
+                progress[tag] += 1
+
+        return body
+
+    UserProcess(host.kernel, "a").start(hog("a"))
+    UserProcess(host.kernel, "b").start(hog("b"))
+    bed.run(2 * SEC)
+    total = progress["a"] + progress["b"]
+    assert total > 1000  # most of 2 seconds went to useful work
+    share = progress["a"] / total
+    assert 0.4 < share < 0.6  # fair to within the quantum
+
+
+def test_interactive_process_not_starved_by_hog():
+    """A process that sleeps and wakes still gets CPU against a hog."""
+    bed, host = build_host()
+    iterations = []
+
+    def hog(proc):
+        while True:
+            yield from proc.compute(5 * MS)
+
+    def interactive(proc):
+        while True:
+            yield from proc.sleep_ns(12 * MS)
+            yield from proc.compute(1 * MS)
+            iterations.append(bed.sim.now)
+
+    UserProcess(host.kernel, "hog").start(hog)
+    UserProcess(host.kernel, "ia").start(interactive)
+    bed.run(1 * SEC)
+    # ~83 periods; each needs a wakeup + up to a quantum of queueing.
+    assert len(iterations) > 35
+
+
+def test_syscall_counts_accumulate():
+    bed, host = build_host()
+
+    class Null:
+        def dev_read(self, proc, n):
+            yield from iter(())
+            return n
+
+    host.kernel.register_device("null", Null())
+    proc = UserProcess(host.kernel, "p")
+
+    def body(p):
+        for _ in range(5):
+            yield from p.read("null", 10)
+
+    proc.start(body)
+    bed.run(100 * MS)
+    assert proc.stats_syscalls == 5
+
+
+def test_kernel_noise_rates_by_mode():
+    bed_a, host_a = build_host(multiprogramming=False)
+    bed_b, host_b = build_host(multiprogramming=True)
+    bed_a.run(2 * SEC)
+    bed_b.run(2 * SEC)
+    assert host_b.kernel.stats_noise_sections > host_a.kernel.stats_noise_sections
+    # Stand-alone mode's calibrated 20/s.
+    assert host_a.kernel.stats_noise_sections == pytest.approx(40, rel=0.5)
