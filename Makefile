@@ -1,0 +1,19 @@
+PYTHON ?= python
+
+export PYTHONPATH := src
+
+.PHONY: test chaos bench examples
+
+test:
+	$(PYTHON) -m pytest -q
+
+# The chaos smoke campaign on its own (also part of the default test run,
+# via tests/experiments/test_chaos.py).
+chaos:
+	$(PYTHON) -m repro chaos --smoke
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) "$$f" || exit 1; done

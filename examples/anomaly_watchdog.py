@@ -18,6 +18,7 @@ Run:  python examples/anomaly_watchdog.py
 from repro.core.session import CTMSSession
 from repro.experiments.controller import CampaignController
 from repro.experiments.testbed import HostConfig, Testbed
+from repro.faults import FaultInjector, FaultPlan
 from repro.sim.units import MS, SEC
 
 bed = Testbed(seed=31)
@@ -25,6 +26,12 @@ tx = bed.add_host(HostConfig(name="transmitter"))
 rx = bed.add_host(HostConfig(name="receiver"))
 session = CTMSSession(tx.kernel, rx.kernel)
 session.establish()
+
+# The station insertion, declared up front: a burst of back-to-back
+# purges lands 7 ms into the third second.
+FaultInjector(
+    bed, FaultPlan().purge_burst(2 * SEC + 7 * MS, count=10)
+).arm()
 
 controller = CampaignController(
     bed, tx, rx, session,
@@ -39,8 +46,6 @@ assert controller.snapshot is None
 print(f"  {session.stats.delivered} packets so far, no anomalies.")
 
 print("\nA station inserts into the ring (burst of back-to-back purges)...")
-for i in range(10):
-    bed.sim.schedule(7 * MS + i * 10 * MS, bed.ring.purge)
 bed.run(3 * SEC)
 
 snap = controller.snapshot

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Chaos campaign: the paper's design decisions, stress-tested.
+
+The paper argued (Sections 2-5) that 150 KB/s of continuous media survives
+a busy Token Ring only if you remove copies, queue media ahead of datagram
+traffic, and use the ring's media priority.  A chaos campaign is the
+adversarial version of that argument: generate a seeded random schedule of
+faults -- Ring Purge bursts, soft-error storms, hostile high-priority
+traffic, adapter stalls, CPU steal -- and apply the *identical* plan to
+
+* ``stock``: the Section 1 starting point (no fixed DMA buffers in IO
+  Channel Memory, no priority queueing, ring priority 0), and
+* ``ctmsp``: the paper's shipped configuration.
+
+A StreamInvariantMonitor watches each run: loss stays under 1%, no
+delivery gap beyond 150 ms, the full 150 KB/s sustained.  Same seed,
+same plan, same weather -- only the engineering differs.
+
+Run:  python examples/chaos_campaign.py
+"""
+
+from repro.experiments.chaos import run_smoke
+
+report = run_smoke(seed=1)
+print(report.render())
+print()
+
+stock = report.runs_for("stock")[0]
+ctmsp = report.runs_for("ctmsp")[0]
+
+print("The identical fault plan both configurations faced:")
+print(report.plans[report.intensities[0]].describe())
+print()
+
+assert not stock.survived(), "stock should buckle under this weather"
+assert ctmsp.survived(), "CTMSP should hold every invariant"
+assert ctmsp.throughput_bytes_per_sec >= 150_000.0
+
+print("OK: the stock path broke invariants "
+      f"({', '.join(stock.violated)}); CTMSP sustained "
+      f"{ctmsp.throughput_bytes_per_sec / 1000:.1f} KB/s unharmed.")

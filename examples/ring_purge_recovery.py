@@ -15,7 +15,15 @@ Run:  python examples/ring_purge_recovery.py
 
 from repro.core.session import CTMSSession
 from repro.experiments.testbed import HostConfig, Testbed
+from repro.faults import FaultInjector, FaultPlan
 from repro.sim.units import MS, SEC
+
+# A station inserts every ~2 seconds: each insertion purges the ring
+# (here: single purges, timed to catch CTMSP frames mid-flight).  The
+# same declarative plan wounds both worlds identically.
+PLAN = FaultPlan()
+for i in range(8):
+    PLAN.purge((1 + i) * 2 * SEC + 7 * MS)
 
 
 def run_world(purge_retransmit: bool):
@@ -26,10 +34,7 @@ def run_world(purge_retransmit: bool):
     rx = bed.add_host(HostConfig(name="receiver"))
     session = CTMSSession(tx.kernel, rx.kernel)
     session.establish()
-    # A station inserts every ~2 seconds: each insertion purges the ring
-    # (here: single purges, timed to catch CTMSP frames mid-flight).
-    for i in range(8):
-        bed.sim.schedule((1 + i) * 2 * SEC + 7 * MS, bed.ring.purge)
+    FaultInjector(bed, PLAN).arm()
     bed.run(18 * SEC)
     return bed, tx, session
 

@@ -25,17 +25,22 @@ paper-vs-measured results; ``python -m repro list`` runs the experiments
 from a shell.
 """
 
-from repro.core.session import CTMSSession
+from repro.core.session import CTMSSession, SessionEstablishTimeout
 from repro.experiments.scenarios import Scenario, test_case_a, test_case_b
 from repro.experiments.testbed import Host, HostConfig, Testbed
+from repro.faults import FaultInjector, FaultPlan, StreamInvariantMonitor
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CTMSSession",
+    "FaultInjector",
+    "FaultPlan",
     "Host",
     "HostConfig",
     "Scenario",
+    "SessionEstablishTimeout",
+    "StreamInvariantMonitor",
     "Testbed",
     "test_case_a",
     "test_case_b",

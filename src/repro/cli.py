@@ -129,6 +129,23 @@ def _cmd_ablate(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.experiments.chaos import run_campaign, run_smoke
+
+    if args.smoke:
+        report = run_smoke(seed=args.seed)
+    elif args.intensities:
+        report = run_campaign(
+            seed=args.seed,
+            duration_ns=args.seconds * SEC,
+            intensities=tuple(args.intensities),
+        )
+    else:
+        report = run_campaign(seed=args.seed, duration_ns=args.seconds * SEC)
+    print(report.render())
+    return 0
+
+
 def _cmd_quickstart(args) -> int:
     from repro.core.session import CTMSSession
     from repro.experiments.testbed import HostConfig, Testbed
@@ -157,6 +174,7 @@ COMMANDS = {
     "copies": (_cmd_copies, "Copy counts for the three transfer paths"),
     "ablate": (_cmd_ablate, "Section 5.3 ablation matrix"),
     "quickstart": (_cmd_quickstart, "Minimal two-machine CTMS stream"),
+    "chaos": (_cmd_chaos, "Chaos campaign: stock vs CTMSP under fault plans"),
 }
 
 
@@ -172,10 +190,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=1)
         if name == "fig5-4":
             p.add_argument("--minutes", type=int, default=6)
+        elif name == "chaos":
+            p.add_argument("--seconds", type=int, default=8)
         else:
             p.add_argument("--seconds", type=int, default=30)
         if name == "histograms":
             p.add_argument("case", choices=["a", "b"])
+        if name == "chaos":
+            p.add_argument(
+                "--smoke",
+                action="store_true",
+                help="single fast intensity (for test suites / make chaos)",
+            )
+            p.add_argument(
+                "--intensities",
+                type=float,
+                nargs="+",
+                help="intensity sweep values (default: 0.5 1.0 2.0)",
+            )
     return parser
 
 

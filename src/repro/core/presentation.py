@@ -45,6 +45,13 @@ class PresentationMachine:
         Playout starts once this much data is buffered.
     capacity_bytes:
         Buffer bound; arrivals beyond it are dropped (counted).
+    skip_ahead_after_ns:
+        Graceful degradation: if a starvation lasts this long, the player
+        gives up on the missing media, closes the glitch at this bounded
+        duration, and *skips ahead* to resume at the live edge when data
+        returns -- one audible dropout of known length instead of an
+        open-ended stall.  ``None`` (the default) keeps the stalling
+        behaviour.
     """
 
     def __init__(
@@ -53,32 +60,48 @@ class PresentationMachine:
         rate_bytes_per_sec: float,
         prefill_bytes: int,
         capacity_bytes: int,
+        skip_ahead_after_ns: Optional[int] = None,
     ) -> None:
         if rate_bytes_per_sec <= 0:
             raise ValueError("rate must be positive")
         if prefill_bytes > capacity_bytes:
             raise ValueError("prefill cannot exceed capacity")
+        if skip_ahead_after_ns is not None and skip_ahead_after_ns <= 0:
+            raise ValueError("skip-ahead window must be positive")
         self.sim = sim
         self.rate = rate_bytes_per_sec
         self.prefill_bytes = prefill_bytes
         self.capacity_bytes = capacity_bytes
+        self.skip_ahead_after_ns = skip_ahead_after_ns
         self._level = 0.0
         self._playing = False
         self._starved_since: Optional[int] = None
         self._last_drain = 0
         self._deadline: Optional[Handle] = None
+        self._skip_timer: Optional[Handle] = None
+        self._skipping = False
+        self._skip_started = 0
         # --- observable state ---
         self.glitches: list[GlitchRecord] = []
         self.overflow_drops = 0
         self.bytes_played = 0.0
         self.peak_level = 0
         self.playout_started_at: Optional[int] = None
+        #: Skip-ahead events performed (graceful-degradation mode).
+        self.skips = 0
+        #: Total simulated time spent skipped ahead (media abandoned).
+        self.skipped_ns = 0
 
     # ------------------------------------------------------------------
     # input
     # ------------------------------------------------------------------
     def on_packet(self, data_bytes: int) -> None:
         """A packet's payload arrived at the sink."""
+        if self._skipping:
+            # Data returned after a skip-ahead: resume at the live edge.
+            self._skipping = False
+            self.skipped_ns += self.sim.now - self._skip_started
+            self._last_drain = self.sim.now
         self._drain_to_now()
         if self._level + data_bytes > self.capacity_bytes:
             self.overflow_drops += 1
@@ -95,6 +118,7 @@ class PresentationMachine:
                 self.sim.now - self._starved_since
             )
             self._starved_since = None
+            self._cancel_skip_timer()
         self._arm_deadline()
 
     def attach_to_vca(self, vca_driver) -> None:
@@ -116,7 +140,7 @@ class PresentationMachine:
     # playout mechanics
     # ------------------------------------------------------------------
     def _drain_to_now(self) -> None:
-        if not self._playing or self._starved_since is not None:
+        if self._skipping or not self._playing or self._starved_since is not None:
             self._last_drain = self.sim.now
             return
         elapsed = self.sim.now - self._last_drain
@@ -133,13 +157,39 @@ class PresentationMachine:
         dry_at = self.sim.now - round((need - played) / self.rate * SEC)
         self.glitches.append(GlitchRecord(at_ns=max(0, dry_at)))
         self._starved_since = max(0, dry_at)
+        self._arm_skip_timer()
+
+    def _arm_skip_timer(self) -> None:
+        if self.skip_ahead_after_ns is None or self._starved_since is None:
+            return
+        self._cancel_skip_timer()
+        fire_at = max(
+            self.sim.now, self._starved_since + self.skip_ahead_after_ns
+        )
+        self._skip_timer = self.sim.at(fire_at, self._skip_ahead)
+
+    def _cancel_skip_timer(self) -> None:
+        if self._skip_timer is not None:
+            self._skip_timer.cancel()
+            self._skip_timer = None
+
+    def _skip_ahead(self) -> None:
+        """The starvation outlasted the skip window: abandon the gap."""
+        self._skip_timer = None
+        if self._starved_since is None:
+            return
+        self.glitches[-1].starved_for_ns = self.sim.now - self._starved_since
+        self._starved_since = None
+        self._skipping = True
+        self._skip_started = self.sim.now
+        self.skips += 1
 
     def _arm_deadline(self) -> None:
         """Schedule a check at the moment the buffer would run dry."""
         if self._deadline is not None:
             self._deadline.cancel()
             self._deadline = None
-        if not self._playing or self._starved_since is not None:
+        if self._skipping or not self._playing or self._starved_since is not None:
             return
         dry_in = round(self._level / self.rate * SEC) + 1
         self._deadline = self.sim.schedule(dry_in, self._deadline_check)
@@ -159,7 +209,11 @@ class PresentationMachine:
         if self._deadline is not None:
             self._deadline.cancel()
             self._deadline = None
+        self._cancel_skip_timer()
         self._playing = False
+        if self._skipping:
+            self._skipping = False
+            self.skipped_ns += self.sim.now - self._skip_started
         if self._starved_since is not None:
             self.glitches[-1].starved_for_ns = self.sim.now - self._starved_since
             self._starved_since = None

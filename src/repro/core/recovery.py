@@ -79,6 +79,16 @@ class SequenceTracker:
         """Distinct packets accepted into the stream."""
         return self.packets_ok + self.reordered
 
+    def missing(self) -> tuple[int, ...]:
+        """Packet numbers currently known lost, in order.
+
+        Gap-fill accounting invariant: ``len(self.missing())`` always equals
+        ``lost_packets`` -- a late arrival that fills a hole is removed from
+        the missing set *and* decrements the loss count atomically in
+        :meth:`record`.
+        """
+        return tuple(sorted(self._missing))
+
     def loss_fraction(self) -> float:
         """Fraction of the stream lost so far."""
         total = self.delivered + self.lost_packets

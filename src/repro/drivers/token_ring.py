@@ -54,6 +54,11 @@ PROBE_RX_CLASSIFIED = "p4"
 #: A probe callback: fn(frame) -> extra CPU ns to charge inline (or None).
 ProbeFn = Callable[[Frame], Optional[int]]
 
+#: Protocol tag of CTMS session-control frames (setup request/ack).  They
+#: ride the same split point as CTMSP data but dispatch to the driver's
+#: ``control_input`` hook instead of the sink handles.
+CTMS_CONTROL_PROTOCOL = "ctms-ctl"
+
 
 @dataclass
 class TokenRingDriverConfig:
@@ -143,6 +148,12 @@ class TokenRingDriver:
             ]
         ] = []
 
+        #: CTMS control-frame upcall, installed by
+        #: :class:`repro.core.session.CTMSSession`: a generator handler run
+        #: inside the receive interrupt frame (it may transmit a reply via
+        #: :meth:`output` but must not Wait).
+        self.control_input: Optional[Callable[[Frame], Generator]] = None
+
         self.probes: dict[str, list[ProbeFn]] = {}
 
         # --- statistics ---
@@ -150,6 +161,8 @@ class TokenRingDriver:
         self.stats_tx_queue_peak = 0
         self.stats_rx_ctmsp = 0
         self.stats_rx_llc = 0
+        self.stats_rx_control = 0
+        self.stats_rx_control_unclaimed = 0
         self.stats_rx_dropped_no_mbufs = 0
         self.stats_rx_ctmsp_unclaimed = 0
         self.stats_retransmits = 0
@@ -328,8 +341,21 @@ class TokenRingDriver:
         yield Exec(calibration.TR_DRIVER_RX_CODE)
         if frame.protocol == "ctmsp":
             yield from self._rx_ctmsp(frame, region)
+        elif frame.protocol == CTMS_CONTROL_PROTOCOL:
+            yield from self._rx_control(frame)
         else:
             yield from self._rx_llc(frame, region)
+
+    def _rx_control(self, frame: Frame) -> Generator:
+        """CTMS session-control frame: same split point, tiny classify cost."""
+        self.stats_rx_control += 1
+        yield Exec(calibration.TR_DRIVER_RX_CLASSIFY_CODE)
+        handler = self.control_input
+        self.adapter.release_rx_buffer()
+        if handler is None:
+            self.stats_rx_control_unclaimed += 1
+            return
+        yield from handler(frame)
 
     def _rx_ctmsp(self, frame: Frame, region: Region) -> Generator:
         self.stats_rx_ctmsp += 1

@@ -1,0 +1,219 @@
+"""Chaos campaigns: stock vs CTMS under seeded random fault weather.
+
+The paper hardened one stream against one environment (Ring Purges every
+couple of minutes, the occasional station insertion).  A chaos campaign
+asks the stronger question: across *randomly generated but reproducible*
+fault schedules of increasing intensity, which configuration keeps its
+invariants?  Two profiles face identical plans:
+
+* ``stock`` -- the Section 1 starting point: no IO Channel Memory fixed
+  buffers, no driver priority queueing, ring priority 0, headers rebuilt
+  per packet;
+* ``ctmsp`` -- the paper's shipped configuration (all of the above on).
+
+Each (intensity, profile) run gets a fresh testbed with the same seed, the
+same :class:`~repro.faults.plan.FaultPlan` (built once per intensity), a
+:class:`~repro.faults.invariants.StreamInvariantMonitor`, and a survival
+verdict.  Everything is derived from the seed -- two campaigns with the
+same seed render byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.session import CTMSSession
+from repro.experiments.testbed import HostConfig, Testbed
+from repro.faults.injectors import FaultInjector
+from repro.faults.invariants import StreamInvariantMonitor
+from repro.faults.plan import FaultPlan
+from repro.sim.units import MS, SEC
+
+#: The paper's Section 6 target rate the survivors must sustain.
+SURVIVAL_THROUGHPUT_BYTES_PER_SEC = 150_000.0
+
+#: Delivery-gap bound (comfortably above the 120-130 ms insertion outliers
+#: the paper tolerated, well below anything perceptually catastrophic).
+SURVIVAL_MAX_INTERARRIVAL_NS = 150 * MS
+
+#: Loss bound: the level the paper "decided that we could safely ignore".
+SURVIVAL_MAX_LOSS_FRACTION = 0.01
+
+PROFILES = ("stock", "ctmsp")
+
+DEFAULT_INTENSITIES = (0.5, 1.0, 2.0)
+
+#: Hosts every campaign testbed assembles (and plans may wound).
+TX_HOST = "transmitter"
+RX_HOST = "receiver"
+
+
+def profile_host_config(profile: str, name: str) -> HostConfig:
+    """Host configuration for one campaign profile."""
+    if profile == "ctmsp":
+        return HostConfig(name=name)
+    if profile == "stock":
+        config = HostConfig(name=name, has_io_channel_memory=False)
+        config.tr.use_io_channel_memory = False
+        config.tr.ctmsp_priority_queueing = False
+        config.tr.ctmsp_ring_priority = 0
+        config.vca.precomputed_header = False
+        return config
+    raise ValueError(f"unknown profile {profile!r}; known: {PROFILES}")
+
+
+def plan_seed(seed: int, intensity: float) -> int:
+    """Derive the per-intensity plan seed (stable across profiles)."""
+    return seed * 100_003 + round(intensity * 1000)
+
+
+def build_plan(seed: int, intensity: float, duration_ns: int) -> FaultPlan:
+    """The one plan both profiles face at this intensity."""
+    rng = random.Random(plan_seed(seed, intensity))
+    return FaultPlan.random(
+        rng,
+        duration_ns=duration_ns,
+        intensity=intensity,
+        hosts=[TX_HOST, RX_HOST],
+    )
+
+
+@dataclass
+class ChaosRun:
+    """One profile's fate under one plan."""
+
+    profile: str
+    intensity: float
+    delivered: int = 0
+    lost_packets: int = 0
+    throughput_bytes_per_sec: float = 0.0
+    setup_attempts: int = 0
+    established: bool = False
+    #: Invariant names broken, in first-detection order.
+    violated: list[str] = field(default_factory=list)
+    #: Full violation records (first-violation snapshots).
+    violations: list = field(default_factory=list)
+
+    def survived(self) -> bool:
+        return self.established and not self.violated
+
+    def verdict(self) -> str:
+        if not self.established:
+            return "FAILED: session never established"
+        if self.violated:
+            return "VIOLATED: " + ", ".join(self.violated)
+        return "survived"
+
+
+def run_one(
+    profile: str,
+    plan: FaultPlan,
+    seed: int,
+    duration_ns: int,
+    intensity: float = 0.0,
+) -> ChaosRun:
+    """Run one profile under one fault plan on a fresh testbed."""
+    bed = Testbed(seed=seed)
+    tx = bed.add_host(profile_host_config(profile, TX_HOST))
+    rx = bed.add_host(profile_host_config(profile, RX_HOST))
+    session = CTMSSession(tx.kernel, rx.kernel)
+    session.establish()
+    monitor = StreamInvariantMonitor(
+        bed,
+        session,
+        max_loss_fraction=SURVIVAL_MAX_LOSS_FRACTION,
+        max_interarrival_ns=SURVIVAL_MAX_INTERARRIVAL_NS,
+        min_throughput_bytes_per_sec=SURVIVAL_THROUGHPUT_BYTES_PER_SEC,
+    ).start()
+    FaultInjector(bed, plan).arm()
+    bed.run(duration_ns)
+    violations = monitor.finish()
+    run = ChaosRun(profile=profile, intensity=intensity)
+    run.established = bool(
+        session.established is not None
+        and session.established.triggered
+        and session.error is None
+    )
+    run.setup_attempts = session.setup_attempts
+    run.delivered = session.sink_tracker.delivered
+    run.lost_packets = session.sink_tracker.lost_packets
+    run.throughput_bytes_per_sec = session.stats.throughput_bytes_per_sec()
+    run.violations = violations
+    run.violated = monitor.violated()
+    return run
+
+
+@dataclass
+class SurvivalReport:
+    """A full campaign: every profile at every intensity."""
+
+    seed: int
+    duration_ns: int
+    intensities: tuple[float, ...]
+    plans: dict[float, FaultPlan] = field(default_factory=dict)
+    runs: list[ChaosRun] = field(default_factory=list)
+
+    def runs_for(self, profile: str) -> list[ChaosRun]:
+        return [r for r in self.runs if r.profile == profile]
+
+    def survived_count(self, profile: str) -> int:
+        return sum(1 for r in self.runs_for(profile) if r.survived())
+
+    def render(self) -> str:
+        """Deterministic text report (same seed -> identical bytes)."""
+        lines = [
+            "Chaos survival: identical fault plans vs stock and CTMSP",
+            f"seed {self.seed}, {self.duration_ns / SEC:.3f} s per run, "
+            f"invariants: loss <= {SURVIVAL_MAX_LOSS_FRACTION * 100:.2f}%, "
+            f"gap <= {SURVIVAL_MAX_INTERARRIVAL_NS / MS:.0f} ms, "
+            f">= {SURVIVAL_THROUGHPUT_BYTES_PER_SEC / 1000:.1f} KB/s",
+        ]
+        for intensity in self.intensities:
+            plan = self.plans[intensity]
+            lines.append("")
+            lines.append(
+                f"intensity {intensity:.2f}  ({len(plan)} fault events)"
+            )
+            for run in self.runs:
+                if run.intensity != intensity:
+                    continue
+                lines.append(
+                    f"  {run.profile:<6} delivered {run.delivered:>5}  "
+                    f"lost {run.lost_packets:>4}  "
+                    f"{run.throughput_bytes_per_sec / 1000:6.1f} KB/s  "
+                    f"{run.verdict()}"
+                )
+        lines.append("")
+        totals = ", ".join(
+            f"{p} {self.survived_count(p)}/{len(self.intensities)}"
+            for p in PROFILES
+        )
+        lines.append(f"survived: {totals}")
+        return "\n".join(lines)
+
+
+def run_campaign(
+    seed: int = 1,
+    duration_ns: int = 8 * SEC,
+    intensities: tuple[float, ...] = DEFAULT_INTENSITIES,
+) -> SurvivalReport:
+    """Sweep the intensity axis; both profiles face identical plans."""
+    report = SurvivalReport(
+        seed=seed, duration_ns=duration_ns, intensities=tuple(intensities)
+    )
+    for intensity in report.intensities:
+        plan = build_plan(seed, intensity, duration_ns)
+        report.plans[intensity] = plan
+        for profile in PROFILES:
+            report.runs.append(
+                run_one(profile, plan, seed, duration_ns, intensity=intensity)
+            )
+    return report
+
+
+def run_smoke(seed: int = 1, duration_ns: int = 4 * SEC) -> SurvivalReport:
+    """A fast single-intensity campaign for test suites and `make chaos`."""
+    return run_campaign(
+        seed=seed, duration_ns=duration_ns, intensities=(2.0,)
+    )

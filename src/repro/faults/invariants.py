@@ -1,0 +1,235 @@
+"""Continuous stream-invariant monitoring (the defense side of chaos).
+
+:class:`StreamInvariantMonitor` watches one CTMS session the way the
+paper's central control point watched its campaign (Section 5.2.1): it
+checks a set of configurable invariants on a periodic tick and, like
+:class:`~repro.experiments.controller.CampaignController`, freezes a
+snapshot of every relevant counter the first time each invariant breaks.
+
+Invariants (all optional):
+
+* ``no_reordering`` -- the ring preserves order, so the sink must never
+  classify an out-of-order CTMSP packet;
+* ``max_loss_fraction`` -- the stream's loss stays below the level the
+  paper decided it could "safely ignore";
+* ``max_interarrival_ns`` -- no delivery gap longer than the playout
+  deadline (the paper's 120-130 ms insertion outliers are the calibration
+  point);
+* ``min_throughput_bytes_per_sec`` -- checked at :meth:`finish`, once the
+  whole window is observable;
+* playout never underruns -- when a
+  :class:`~repro.core.presentation.PresentationMachine` is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.sim.units import MS, format_time
+
+#: Invariant names (keys of first-violation snapshots).
+NO_REORDERING = "no_reordering"
+LOSS_FRACTION = "loss_fraction"
+INTER_ARRIVAL = "inter_arrival"
+THROUGHPUT = "throughput"
+PLAYOUT_UNDERRUN = "playout_underrun"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant broken, with state frozen at first detection."""
+
+    invariant: str
+    detail: str
+    at_ns: int
+    snapshot: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [
+            f"VIOLATION at {format_time(self.at_ns)}: {self.invariant}",
+            f"  {self.detail}",
+        ]
+        for key, value in self.snapshot.items():
+            lines.append(f"    {key} = {value}")
+        return "\n".join(lines)
+
+
+class StreamInvariantMonitor:
+    """Watches one session's sink-side invariants while the clock runs.
+
+    Parameters
+    ----------
+    testbed, session:
+        The laboratory and the stream under observation.
+    check_period_ns:
+        Tick between invariant evaluations (default: two media periods).
+    grace_ns:
+        No checks before this instant -- establishment (now a real
+        handshake with retries) must be allowed to finish.
+    min_packets:
+        Loss/ordering checks wait for this many deliveries so a single
+        early packet cannot dominate the fraction.
+    """
+
+    def __init__(
+        self,
+        testbed,
+        session,
+        presentation=None,
+        no_reordering: bool = True,
+        max_loss_fraction: Optional[float] = 0.01,
+        loss_grace_packets: int = 10,
+        max_interarrival_ns: Optional[int] = 150 * MS,
+        min_throughput_bytes_per_sec: Optional[float] = None,
+        check_period_ns: int = 24 * MS,
+        grace_ns: int = 250 * MS,
+        min_packets: int = 20,
+    ) -> None:
+        self.testbed = testbed
+        self.sim = testbed.sim
+        self.session = session
+        self.presentation = presentation
+        self.no_reordering = no_reordering
+        self.max_loss_fraction = max_loss_fraction
+        self.loss_grace_packets = loss_grace_packets
+        self.max_interarrival_ns = max_interarrival_ns
+        self.min_throughput_bytes_per_sec = min_throughput_bytes_per_sec
+        self.check_period_ns = check_period_ns
+        self.grace_ns = grace_ns
+        self.min_packets = min_packets
+        self.violations: list[Violation] = []
+        self._seen: set[str] = set()
+        self._finished = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "StreamInvariantMonitor":
+        """Begin periodic checking (idempotent)."""
+        if not self._started:
+            self._started = True
+            self.sim.schedule(
+                max(self.grace_ns, self.check_period_ns), self._tick
+            )
+        return self
+
+    def _tick(self) -> None:
+        if self._finished:
+            return
+        self.check_now()
+        self.sim.schedule(self.check_period_ns, self._tick)
+
+    def finish(self) -> list[Violation]:
+        """End-of-run checks (throughput); returns all violations."""
+        self._finished = True
+        self.check_now()
+        stats = self.session.stats
+        if (
+            self.min_throughput_bytes_per_sec is not None
+            and stats.delivered >= self.min_packets
+        ):
+            achieved = stats.throughput_bytes_per_sec()
+            if achieved < self.min_throughput_bytes_per_sec:
+                self._trip(
+                    THROUGHPUT,
+                    f"delivered {achieved / 1000:.1f} KB/s, needed "
+                    f"{self.min_throughput_bytes_per_sec / 1000:.1f} KB/s",
+                )
+        return self.violations
+
+    # ------------------------------------------------------------------
+    # checks
+    # ------------------------------------------------------------------
+    def check_now(self) -> None:
+        """Evaluate every live invariant against the current counters."""
+        tracker = self.session.sink_tracker
+        stats = self.session.stats
+        if self.no_reordering and tracker.reordered > 0:
+            self._trip(
+                NO_REORDERING,
+                f"{tracker.reordered} packet(s) classified out of order",
+            )
+        if (
+            self.max_loss_fraction is not None
+            and tracker.delivered >= self.min_packets
+            # Absolute floor before the fraction means anything: the paper
+            # "decided that we could safely ignore" single lost packets
+            # (one per Ring Purge), and a campaign schedules many purges.
+            # Against a small early denominator those tolerated losses
+            # would read as fractional violations.
+            and tracker.lost_packets > self.loss_grace_packets
+        ):
+            fraction = tracker.loss_fraction()
+            if fraction > self.max_loss_fraction:
+                self._trip(
+                    LOSS_FRACTION,
+                    f"loss fraction {fraction * 100:.2f}% exceeds "
+                    f"{self.max_loss_fraction * 100:.2f}%",
+                )
+        if self.max_interarrival_ns is not None and stats.delivered >= 2:
+            worst = stats.worst_gap_ns()
+            # A gap still in progress counts too -- the watchdog must fire
+            # while the stream is stalled, not after it recovers.
+            if stats.last_arrival is not None:
+                worst = max(worst, self.sim.now - stats.last_arrival)
+            if worst > self.max_interarrival_ns:
+                self._trip(
+                    INTER_ARRIVAL,
+                    f"inter-arrival gap {format_time(worst)} exceeds "
+                    f"{format_time(self.max_interarrival_ns)}",
+                )
+        if self.presentation is not None and self.presentation.glitch_count:
+            self._trip(
+                PLAYOUT_UNDERRUN,
+                f"playout buffer underran {self.presentation.glitch_count} "
+                "time(s)",
+            )
+
+    # ------------------------------------------------------------------
+    # first-violation snapshots
+    # ------------------------------------------------------------------
+    def _trip(self, invariant: str, detail: str) -> None:
+        if invariant in self._seen:
+            return
+        self._seen.add(invariant)
+        self.violations.append(
+            Violation(
+                invariant=invariant,
+                detail=detail,
+                at_ns=self.sim.now,
+                snapshot=self._snapshot(),
+            )
+        )
+
+    def _snapshot(self) -> dict[str, Any]:
+        tracker = self.session.sink_tracker
+        stats = self.session.stats
+        ring = self.testbed.ring
+        snap = {
+            "delivered": tracker.delivered,
+            "lost_packets": tracker.lost_packets,
+            "gaps": tracker.gaps,
+            "duplicates": tracker.duplicates,
+            "reordered": tracker.reordered,
+            "worst_gap_ns": stats.worst_gap_ns(),
+            "ring_purges": ring.stats_purges,
+            "ring_lost_to_purge": ring.stats_frames_lost_to_purge,
+            "ring_lost_to_fault": ring.stats_frames_lost_to_fault,
+            "ring_pending": ring.pending_count(),
+        }
+        if self.presentation is not None:
+            snap["playout_glitches"] = self.presentation.glitch_count
+            snap["playout_skips"] = self.presentation.skips
+        return snap
+
+    # ------------------------------------------------------------------
+    # verdicts
+    # ------------------------------------------------------------------
+    def ok(self) -> bool:
+        return not self.violations
+
+    def violated(self) -> list[str]:
+        """Invariant names broken so far, in first-detection order."""
+        return [v.invariant for v in self.violations]

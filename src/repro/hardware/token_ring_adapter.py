@@ -74,11 +74,27 @@ class TokenRingAdapter:
         self._tx_in_progress = False
         self._last_tx_frame: Optional[Frame] = None
 
+        # --- fault-injection hooks (set by repro.faults.injectors) ---
+        #: Absolute time until which the microcode sits on transmit commands.
+        self.fault_tx_stall_until = 0
+        #: Extra delay before each receive interrupt (coalescing fault).
+        self.fault_rx_delay_ns = 0
+        #: Number of upcoming transmit-complete interrupts to swallow.
+        self.fault_drop_tx_complete = 0
+        #: If > 0, a "dropped" tx-complete is delivered this late instead of
+        #: never (a degraded path rather than a wedged one).
+        self.fault_drop_tx_complete_delay_ns = 0
+        self._fault_rx_seized = 0
+        self._fault_rx_active = False
+
         # --- statistics ---
         self.stats_tx_frames = 0
         self.stats_rx_frames = 0
         self.stats_rx_overruns = 0
         self.stats_tx_lost_in_purge = 0
+        self.stats_tx_stalled_ns = 0
+        self.stats_tx_complete_dropped = 0
+        self.stats_tx_complete_delayed = 0
 
     # ------------------------------------------------------------------
     # transmit path
@@ -96,8 +112,10 @@ class TokenRingAdapter:
             )
         self._tx_in_progress = True
         self._last_tx_frame = frame
+        stall = max(0, self.fault_tx_stall_until - self.sim.now)
+        self.stats_tx_stalled_ns += stall
         self.sim.schedule(
-            self.command_latency, self._fetch_frame, frame, from_region
+            stall + self.command_latency, self._fetch_frame, frame, from_region
         )
 
     def _fetch_frame(self, frame: Frame, from_region: Region) -> None:
@@ -126,10 +144,25 @@ class TokenRingAdapter:
                     self.irq_level, self.on_purge_detected, name="tr-purge"
                 )
                 return
-        if self.on_tx_complete is not None:
-            self.cpu.raise_irq(
-                self.irq_level, self.on_tx_complete, name="tr-txdone"
-            )
+        if self.on_tx_complete is None:
+            return
+        if self.fault_drop_tx_complete > 0:
+            self.fault_drop_tx_complete -= 1
+            if self.fault_drop_tx_complete_delay_ns > 0:
+                self.stats_tx_complete_delayed += 1
+                self.sim.schedule(
+                    self.fault_drop_tx_complete_delay_ns,
+                    self.cpu.raise_irq,
+                    self.irq_level,
+                    self.on_tx_complete,
+                    "tr-txdone",
+                )
+            else:
+                self.stats_tx_complete_dropped += 1
+            return
+        self.cpu.raise_irq(
+            self.irq_level, self.on_tx_complete, name="tr-txdone"
+        )
 
     @property
     def tx_in_progress(self) -> bool:
@@ -162,6 +195,17 @@ class TokenRingAdapter:
             self.release_rx_buffer()
             return
         region = self.rx_buffer_region
+        if self.fault_rx_delay_ns > 0:
+            # Injected interrupt coalescing: the card holds the completed
+            # receive before asserting the interrupt line.
+            self.sim.schedule(
+                self.fault_rx_delay_ns,
+                self.cpu.raise_irq,
+                self.irq_level,
+                lambda: self.on_rx_frame(frame, region),
+                "tr-rx",
+            )
+            return
         self.cpu.raise_irq(
             self.irq_level,
             lambda: self.on_rx_frame(frame, region),
@@ -170,6 +214,35 @@ class TokenRingAdapter:
 
     def release_rx_buffer(self) -> None:
         """Driver upcall: a host receive DMA buffer is free again."""
-        if self._rx_buffers_free >= self.rx_buffer_count:
+        if self._rx_buffers_free + self._fault_rx_seized >= self.rx_buffer_count:
             raise SimulationError("rx buffer release underflow")
-        self._rx_buffers_free += 1
+        if self._fault_rx_active:
+            # An exhaustion fault is active: the freed buffer is captured by
+            # the fault instead of returning to the pool.
+            self._fault_rx_seized += 1
+        else:
+            self._rx_buffers_free += 1
+
+    # ------------------------------------------------------------------
+    # fault-injection controls (repro.faults.injectors)
+    # ------------------------------------------------------------------
+    def fault_seize_rx_buffers(self) -> int:
+        """Mark every currently-free receive DMA buffer busy (exhaustion).
+
+        Arrivals during the seize window overrun exactly as when the host
+        falls behind.  Returns the number of buffers captured now; buffers
+        released by the driver while the fault is active are captured too.
+        """
+        self._fault_rx_active = True
+        seized = self._rx_buffers_free
+        self._fault_rx_seized += seized
+        self._rx_buffers_free = 0
+        return seized
+
+    def fault_release_rx_buffers(self) -> None:
+        """End an exhaustion fault: captured buffers return to the pool."""
+        if not self._fault_rx_active:
+            return
+        self._fault_rx_active = False
+        self._rx_buffers_free += self._fault_rx_seized
+        self._fault_rx_seized = 0

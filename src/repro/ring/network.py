@@ -71,6 +71,13 @@ class TokenRing:
         self._by_address: dict[str, object] = {}
         #: Wire observers (TAP): called as fn(frame, t_wire_start, status).
         self.monitors: list[Callable[[Frame, int, str], None]] = []
+        #: Fault-injection hooks: each is called with the frame at capture
+        #: time; if any returns True the frame is corrupted on the wire --
+        #: it occupies the medium normally and the transmitter sees a normal
+        #: completion (the paper's silent-loss semantics, Section 4), but no
+        #: station receives it.  Installed by
+        #: :class:`repro.faults.injectors.FaultInjector`.
+        self.fault_filters: list[Callable[[Frame], bool]] = []
 
         # token state
         self._token_priority = 0
@@ -88,6 +95,7 @@ class TokenRing:
         # --- statistics ---
         self.stats_frames_sent = 0
         self.stats_frames_lost_to_purge = 0
+        self.stats_frames_lost_to_fault = 0
         self.stats_lost_by_protocol: dict[str, int] = {}
         self.stats_busy_ns = 0
         self.stats_purges = 0
@@ -201,18 +209,28 @@ class TokenRing:
         wire = frame.wire_time_ns
         self.stats_busy_ns += wire
         self._count(frame)
+        faulted = any(flt(frame) for flt in self.fault_filters)
         for monitor in self.monitors:
-            monitor(frame, now, "wire")
+            monitor(frame, now, "lost" if faulted else "wire")
         # Deliveries: each destination sees the full frame after it has
-        # traveled the intervening hops and been fully serialized.
+        # traveled the intervening hops and been fully serialized.  A frame
+        # corrupted by an injected fault still occupies the wire for its
+        # full serialization but reaches no one; the transmitter is not
+        # told (status stays TX_OK at release).
         self._delivery_handles = []
-        src_pos = request.station.position
-        for dst in self._destinations(frame):
-            hops = (dst.position - src_pos) % self.total_stations
-            t_rx = wire + round(hops * self.hop_ns)
-            self._delivery_handles.append(
-                self.sim.schedule(t_rx, self._deliver, dst, frame)
+        if faulted:
+            self.stats_frames_lost_to_fault += 1
+            self.stats_lost_by_protocol[frame.protocol] = (
+                self.stats_lost_by_protocol.get(frame.protocol, 0) + 1
             )
+        else:
+            src_pos = request.station.position
+            for dst in self._destinations(frame):
+                hops = (dst.position - src_pos) % self.total_stations
+                t_rx = wire + round(hops * self.hop_ns)
+                self._delivery_handles.append(
+                    self.sim.schedule(t_rx, self._deliver, dst, frame)
+                )
         release_after = wire + self.ring_latency_ns
         self._release_handle = self.sim.schedule(
             release_after, self._release, request, TX_OK

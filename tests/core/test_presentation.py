@@ -116,3 +116,76 @@ def test_attached_player_hears_the_purge_outage():
         bed.sim.schedule(i * 10 * MS, bed.ring.purge)
     bed.run(2 * SEC)
     assert player.glitch_count >= 1
+
+
+def test_skip_ahead_bounds_a_long_starvation():
+    """Graceful degradation: one bounded dropout instead of an endless stall."""
+    sim = Simulator()
+    player = PresentationMachine(
+        sim, RATE, prefill_bytes=4000, capacity_bytes=8000,
+        skip_ahead_after_ns=50 * MS,
+    )
+    times = [i * 12 * MS for i in range(10)]
+    # A 400 ms outage, then the stream returns.
+    resume = times[-1] + 400 * MS
+    times += [resume + i * 12 * MS for i in range(20)]
+    feed(player, sim, times)
+    sim.schedule(times[-1] + 1 * MS, player.stop)
+    sim.run(until=2 * SEC)
+    assert player.glitch_count == 1
+    # The glitch closed at the skip window, not at the 400 ms outage length.
+    assert player.glitches[0].starved_for_ns == 50 * MS
+    assert player.skips == 1
+    assert player.skipped_ns > 300 * MS
+    # After the skip, playback resumed at the live edge without new glitches.
+    assert player.bytes_played > 20 * 2000
+
+
+def test_short_starvation_does_not_skip():
+    sim = Simulator()
+    player = PresentationMachine(
+        sim, RATE, prefill_bytes=4000, capacity_bytes=8000,
+        skip_ahead_after_ns=200 * MS,
+    )
+    times = [i * 12 * MS for i in range(10)]
+    times += [times[-1] + 100 * MS + i * 12 * MS for i in range(10)]
+    feed(player, sim, times)
+    sim.schedule(times[-1] + 1 * MS, player.stop)
+    sim.run(until=2 * SEC)
+    assert player.skips == 0
+    assert player.glitch_count == 1
+    assert player.glitches[0].starved_for_ns < 200 * MS
+
+
+def test_skip_ahead_disabled_by_default():
+    sim = Simulator()
+    player = PresentationMachine(
+        sim, RATE, prefill_bytes=4000, capacity_bytes=8000
+    )
+    feed(player, sim, [i * 12 * MS for i in range(5)])
+    sim.run(until=2 * SEC)
+    assert player.skips == 0
+    assert player.skipped_ns == 0
+
+
+def test_skip_ahead_window_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PresentationMachine(
+            sim, RATE, prefill_bytes=100, capacity_bytes=200,
+            skip_ahead_after_ns=0,
+        )
+
+
+def test_stop_during_skip_accounts_the_skipped_time():
+    sim = Simulator()
+    player = PresentationMachine(
+        sim, RATE, prefill_bytes=4000, capacity_bytes=8000,
+        skip_ahead_after_ns=50 * MS,
+    )
+    feed(player, sim, [i * 12 * MS for i in range(10)])  # then silence
+    sim.schedule(1 * SEC, player.stop)
+    sim.run(until=2 * SEC)
+    assert player.skips == 1
+    assert player.glitches[0].starved_for_ns == 50 * MS
+    assert player.skipped_ns > 500 * MS

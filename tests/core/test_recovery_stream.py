@@ -104,3 +104,45 @@ def test_stream_stats_empty():
     assert stats.throughput_bytes_per_sec() == 0.0
     assert stats.max_latency_ns() == 0
     assert stats.inter_arrival_ns() == []
+
+
+def test_missing_always_mirrors_lost_packets():
+    """Gap-fill accounting: the missing set and the loss count move together."""
+    tracker = SequenceTracker()
+    tracker.record(0)
+    tracker.record(5)                 # 1-4 missing
+    assert tracker.missing() == (1, 2, 3, 4)
+    assert tracker.lost_packets == 4
+    assert tracker.record(2) == REORDERED
+    assert tracker.missing() == (1, 3, 4)
+    assert tracker.lost_packets == 3
+    # Filling the same hole twice is a duplicate, not a double decrement.
+    assert tracker.record(2) == DUPLICATE
+    assert tracker.missing() == (1, 3, 4)
+    assert tracker.lost_packets == 3
+
+
+@given(st.permutations(list(range(12))))
+def test_any_arrival_order_balances_the_books(order):
+    """Every packet delivered exactly once, in any order: no residual loss."""
+    tracker = SequenceTracker()
+    tracker.record(0)                 # pin the stream start
+    for n in order:
+        tracker.record(n)
+    assert tracker.lost_packets == len(tracker.missing())
+    assert tracker.missing() == ()
+    assert tracker.lost_packets == 0
+    assert tracker.delivered == 12
+    assert tracker.loss_fraction() == 0.0
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=120)
+)
+def test_missing_invariant_under_arbitrary_streams(packet_nos):
+    """len(missing()) == lost_packets after every single record call."""
+    tracker = SequenceTracker()
+    for n in packet_nos:
+        tracker.record(n)
+        assert len(tracker.missing()) == tracker.lost_packets
+        assert all(m < tracker.next_expected for m in tracker.missing())

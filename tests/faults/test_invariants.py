@@ -1,0 +1,123 @@
+"""Tests for the stream invariant monitor."""
+
+from repro.core.presentation import PresentationMachine
+from repro.core.session import CTMSSession
+from repro.experiments.testbed import HostConfig
+from repro.experiments.testbed import Testbed as _Testbed
+from repro.faults import FaultInjector, FaultPlan, StreamInvariantMonitor
+from repro.faults.invariants import (
+    INTER_ARRIVAL,
+    LOSS_FRACTION,
+    THROUGHPUT,
+)
+from repro.sim.units import MS, SEC
+
+
+def monitored_bed(seed=17, **monitor_kwargs):
+    bed = _Testbed(seed=seed)
+    tx = bed.add_host(HostConfig(name="transmitter"))
+    rx = bed.add_host(HostConfig(name="receiver"))
+    session = CTMSSession(tx.kernel, rx.kernel)
+    session.establish()
+    monitor = StreamInvariantMonitor(bed, session, **monitor_kwargs).start()
+    return bed, session, monitor
+
+
+def test_healthy_stream_holds_every_invariant():
+    bed, _session, monitor = monitored_bed(
+        min_throughput_bytes_per_sec=150_000.0
+    )
+    bed.run(3 * SEC)
+    assert monitor.finish() == []
+    assert monitor.ok()
+
+
+def test_sustained_outage_trips_inter_arrival_while_stalled():
+    bed, _session, monitor = monitored_bed()
+    FaultInjector(
+        bed,
+        FaultPlan().frame_loss(1 * SEC, duration_ns=400 * MS, protocol="ctmsp"),
+    ).arm()
+    bed.run(3 * SEC)
+    monitor.finish()
+    assert INTER_ARRIVAL in monitor.violated()
+    [violation] = [v for v in monitor.violations if v.invariant == INTER_ARRIVAL]
+    # Tripped *during* the stall (in-progress gap), not after recovery.
+    assert violation.at_ns < 1 * SEC + 400 * MS + 50 * MS
+    assert violation.snapshot["delivered"] > 0
+    assert "gap" in violation.detail
+
+
+def test_first_violation_is_recorded_once_per_invariant():
+    bed, _session, monitor = monitored_bed()
+    FaultInjector(
+        bed,
+        FaultPlan()
+        .frame_loss(1 * SEC, duration_ns=400 * MS, protocol="ctmsp")
+        .frame_loss(2 * SEC, duration_ns=400 * MS, protocol="ctmsp"),
+    ).arm()
+    bed.run(4 * SEC)
+    monitor.finish()
+    names = monitor.violated()
+    assert len(names) == len(set(names))
+
+
+def test_loss_grace_tolerates_the_papers_single_packets():
+    bed, session, monitor = monitored_bed()
+    # A brief outage eats a packet or three -- the loss level the paper
+    # decided it could "safely ignore".
+    FaultInjector(
+        bed, FaultPlan().frame_loss(1 * SEC, duration_ns=30 * MS)
+    ).arm()
+    bed.run(4 * SEC)
+    monitor.finish()
+    assert 0 < session.sink_tracker.lost_packets <= monitor.loss_grace_packets
+    assert LOSS_FRACTION not in monitor.violated()
+
+
+def test_heavy_loss_trips_the_fraction():
+    bed, session, monitor = monitored_bed()
+    FaultInjector(
+        bed,
+        FaultPlan().frame_loss(1 * SEC, duration_ns=500 * MS, protocol="ctmsp"),
+    ).arm()
+    bed.run(3 * SEC)
+    monitor.finish()
+    assert session.sink_tracker.lost_packets > monitor.loss_grace_packets
+    assert LOSS_FRACTION in monitor.violated()
+
+
+def test_throughput_checked_at_finish():
+    bed, _session, monitor = monitored_bed(
+        min_throughput_bytes_per_sec=10_000_000.0  # unreachable
+    )
+    bed.run(2 * SEC)
+    violations = monitor.finish()
+    assert THROUGHPUT in [v.invariant for v in violations]
+
+
+def test_playout_underrun_invariant_watches_the_presentation():
+    bed = _Testbed(seed=17)
+    tx = bed.add_host(HostConfig(name="transmitter"))
+    rx = bed.add_host(HostConfig(name="receiver"))
+    session = CTMSSession(tx.kernel, rx.kernel)
+    session.establish()
+    player = PresentationMachine(
+        bed.sim,
+        rate_bytes_per_sec=2000 / 0.012,
+        prefill_bytes=6000,
+        capacity_bytes=40000,
+    )
+    player.attach_to_vca(rx.vca_driver)
+    monitor = StreamInvariantMonitor(bed, session, presentation=player).start()
+    FaultInjector(
+        bed,
+        FaultPlan().frame_loss(1 * SEC, duration_ns=500 * MS, protocol="ctmsp"),
+    ).arm()
+    bed.run(3 * SEC)
+    monitor.finish()
+    assert "playout_underrun" in monitor.violated()
+    [violation] = [
+        v for v in monitor.violations if v.invariant == "playout_underrun"
+    ]
+    assert violation.snapshot["playout_glitches"] >= 1
