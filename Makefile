@@ -2,10 +2,18 @@ PYTHON ?= python
 
 export PYTHONPATH := src
 
-.PHONY: test chaos bench examples
+.PHONY: test lint chaos bench examples
 
-test:
+# Static analysis first: a determinism/layering violation fails fast,
+# before the (slower) simulation suites run.
+test: lint
 	$(PYTHON) -m pytest -q
+
+# ctms-lint over the library sources (rules + suppression syntax are
+# documented in docs/ANALYSIS.md).  The committed baseline is empty for
+# src/ -- new findings fail the build.
+lint:
+	$(PYTHON) -m repro lint src/repro --baseline lint-baseline.json
 
 # The chaos smoke campaign on its own (also part of the default test run,
 # via tests/experiments/test_chaos.py).

@@ -1,0 +1,40 @@
+"""ctms-lint: the repo's determinism & layering static-analysis pass.
+
+The reproduction's claims rest on a bit-reproducible simulated data path
+(integer-ns event calendar, named seeded RNG streams, strict layering).
+This package enforces those disciplines mechanically -- see
+``docs/ANALYSIS.md`` for every rule ID, its rationale, and the
+``# ctms-lint: disable=RULE`` suppression syntax.  Run it as
+``repro lint <paths>`` or ``make lint``.
+
+The package is self-contained by design (it imports nothing from the
+rest of :mod:`repro`) so it can lint the tree it lives in without import
+cycles; its own purity is enforced by rule CTMS301.
+"""
+
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import (
+    LintReport,
+    iter_python_files,
+    lint_source,
+    run_lint,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULES, Rule
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "apply_baseline",
+    "iter_python_files",
+    "lint_source",
+    "load_baseline",
+    "run_lint",
+    "write_baseline",
+]

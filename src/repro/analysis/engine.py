@@ -1,0 +1,152 @@
+"""The ctms-lint engine: walk files, run checkers, honour suppressions.
+
+Orchestration only -- the rules live in :mod:`repro.analysis.checkers`
+(AST determinism/units pass) and :mod:`repro.analysis.layering` (import
+rules), the debt ledger in :mod:`repro.analysis.baseline`.
+
+Inline suppressions: append ``# ctms-lint: disable=CTMS201`` (comma lists
+and ``disable=all`` accepted) to the offending line.  For multi-line
+constructs the finding anchors to the construct's first line (the ``for``
+of a loop, the call's opening line), so that is where the comment goes.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import BaselineResult, apply_baseline
+from repro.analysis.checkers import DeterminismVisitor
+from repro.analysis.findings import Finding
+from repro.analysis.layering import check_layering
+
+_SUPPRESS_RE = re.compile(r"ctms-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Files whose rules are relaxed: sim/rng.py is the sanctioned home of raw
+#: ``random`` machinery.
+_RNG_HOME_SUFFIX = "repro/sim/rng.py"
+
+
+def suppressed_rules_by_line(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule IDs disabled by an inline comment there."""
+    out: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")}
+                out.setdefault(tok.start[0], set()).update(r for r in rules if r)
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+def _is_suppressed(finding: Finding, suppressions: dict[int, set[str]]) -> bool:
+    disabled = suppressions.get(finding.line, set())
+    return "all" in disabled or finding.rule in disabled
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    files_scanned: int = 0
+    findings: list[Finding] = field(default_factory=list)
+    parse_errors: list[str] = field(default_factory=list)
+    baseline: BaselineResult = field(default_factory=BaselineResult)
+
+    @property
+    def new(self) -> list[Finding]:
+        return self.baseline.new
+
+    @property
+    def baselined(self) -> list[Finding]:
+        return self.baseline.baselined
+
+    def ok(self) -> bool:
+        """True when nothing non-baselined was found and every file parsed."""
+        return not self.new and not self.parse_errors
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.new]
+        lines += [f"{err}: syntax error (unparseable file)" for err in self.parse_errors]
+        if self.baselined:
+            lines.append(f"({len(self.baselined)} baselined finding(s) suppressed)")
+        for file, rule in self.baseline.stale:
+            lines.append(f"stale baseline entry: {file} {rule} (delete it)")
+        verdict = "clean" if self.ok() else f"{len(self.new)} new finding(s)"
+        lines.append(
+            f"ctms-lint: {self.files_scanned} file(s) scanned, {verdict}"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        payload = {
+            "files_scanned": self.files_scanned,
+            "findings": [f.as_dict() for f in self.new],
+            "baselined": [f.as_dict() for f in self.baselined],
+            "stale_baseline": [list(entry) for entry in self.baseline.stale],
+            "parse_errors": self.parse_errors,
+            "ok": self.ok(),
+        }
+        return json.dumps(payload, indent=2)
+
+
+def lint_source(source: str, path: str) -> list[Finding]:
+    """All findings for one module's source text (suppressions applied)."""
+    posix = path.replace("\\", "/")
+    tree = ast.parse(source, filename=path)
+    visitor = DeterminismVisitor(path, rng_home=posix.endswith(_RNG_HOME_SUFFIX))
+    visitor.visit(tree)
+    findings = visitor.findings + check_layering(tree, path)
+    suppressions = suppressed_rules_by_line(source)
+    return sorted(f for f in findings if not _is_suppressed(f, suppressions))
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            out.add(p)
+    return sorted(out)
+
+
+def run_lint(
+    paths: list[str | Path],
+    baseline: dict[str, dict[str, int]] | None = None,
+) -> LintReport:
+    """Lint every python file under ``paths`` against an optional baseline."""
+    report = LintReport()
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        report.files_scanned += 1
+        display = _display_path(file)
+        try:
+            source = file.read_text()
+            findings.extend(lint_source(source, display))
+        except SyntaxError:
+            report.parse_errors.append(display)
+    report.findings = findings
+    report.baseline = apply_baseline(findings, baseline or {})
+    return report
+
+
+def _display_path(file: Path) -> str:
+    """Repo-relative posix path when possible (stable baseline keys)."""
+    try:
+        rel = file.resolve().relative_to(Path.cwd().resolve())
+        return rel.as_posix()
+    except ValueError:
+        return file.as_posix()

@@ -1,0 +1,34 @@
+"""Finding records produced by the ctms-lint engine.
+
+A finding pins one rule violation to one source location.  Findings are
+plain data so the engine, the baseline machinery, and both renderers
+(text and ``--json``) can share them without coupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+    hint: str
+
+    def render(self) -> str:
+        """One-line human-readable form (``path:line:col: RULE message``)."""
+        text = f"{self.file}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+        if self.hint:
+            text += f"  (fix: {self.hint})"
+        return text
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable form for ``repro lint --json``."""
+        return asdict(self)

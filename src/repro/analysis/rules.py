@@ -1,0 +1,168 @@
+"""The ctms-lint rule registry.
+
+Every rule has a stable ID (referenced by inline suppressions and the
+baseline file), a severity, a one-line summary, and a fix-it hint.  The
+rationale for each rule lives in ``docs/ANALYSIS.md``; the short version:
+the repo's throughput/latency claims are only meaningful if the simulated
+data path is bit-reproducible, and these rules mechanically enforce the
+disciplines (integer-ns time, named seeded RNG streams, strict layering)
+that reproducibility rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A lint rule: stable ID, severity, summary, and fix-it hint."""
+
+    id: str
+    name: str
+    severity: str
+    summary: str
+    hint: str
+
+
+RULES: dict[str, Rule] = {
+    rule.id: rule
+    for rule in (
+        Rule(
+            id="CTMS101",
+            name="global-random",
+            severity=ERROR,
+            summary="call to a module-level random function (shared global RNG state)",
+            hint="draw from a named RandomStreams stream (repro.sim.rng) instead",
+        ),
+        Rule(
+            id="CTMS102",
+            name="unseeded-random",
+            severity=ERROR,
+            summary="random.Random() constructed without an explicit seed",
+            hint="pass an explicit integer seed, or use RandomStreams/seeded_stream",
+        ),
+        Rule(
+            id="CTMS103",
+            name="wall-clock",
+            severity=ERROR,
+            summary="wall-clock call inside a simulated path",
+            hint="simulated time is Simulator.now (integer ns); never read the host clock",
+        ),
+        Rule(
+            id="CTMS104",
+            name="unordered-scheduling",
+            severity=WARNING,
+            summary="iteration over a set/dict view schedules events (ordering "
+            "depends on hash order)",
+            hint="iterate sorted(...) or an explicitly ordered list before scheduling",
+        ),
+        Rule(
+            id="CTMS105",
+            name="random-from-import",
+            severity=WARNING,
+            summary="`from random import ...` hides global-RNG functions behind bare names",
+            hint="import the module (for typing/seeded constructors) or use repro.sim.rng",
+        ),
+        Rule(
+            id="CTMS201",
+            name="float-delay",
+            severity=ERROR,
+            summary="float-typed expression passed as a simulated delay/timeout",
+            hint="all sim time is integer ns; build delays from units.NS/US/MS/SEC "
+            "or convert with units.from_us/from_ms/from_sec",
+        ),
+        Rule(
+            id="CTMS301",
+            name="layering",
+            severity=ERROR,
+            summary="import breaks the driver-to-driver layering",
+            hint="lower layers must not reach up; move the dependency or invert it "
+            "with a callback/event",
+        ),
+        Rule(
+            id="CTMS302",
+            name="measure-observe-only",
+            severity=ERROR,
+            summary="measure package imports an actuator package (observe-only violation)",
+            hint="measurement taps may observe (sim/hardware/ring/core types) but "
+            "never drive drivers/experiments/faults",
+        ),
+    )
+}
+
+#: Packages whose import the layering rules reason about, and what each may
+#: not import.  ``"*"`` means "no repro package outside itself" (kernel/tool
+#: purity).  Mirrors the paper's architecture: hardware below drivers below
+#: sessions below experiments, with measurement strictly off to the side.
+LAYERING_FORBIDDEN: dict[str, frozenset[str]] = {
+    "sim": frozenset({"*"}),
+    "analysis": frozenset({"*"}),
+    "hardware": frozenset(
+        {"drivers", "core", "experiments", "workloads", "faults", "measure"}
+    ),
+    "unix": frozenset({"drivers", "core", "experiments", "workloads", "measure"}),
+    "ring": frozenset({"drivers", "core", "experiments", "workloads", "measure"}),
+    "protocols": frozenset({"drivers", "experiments", "workloads", "measure"}),
+    "drivers": frozenset({"experiments", "workloads", "faults", "measure"}),
+    "core": frozenset({"experiments", "workloads", "measure"}),
+    "faults": frozenset({"experiments", "workloads", "measure"}),
+    # measure is handled by CTMS302 (observe-only) below.
+}
+
+#: What the observe-only ``measure`` package may never import.
+MEASURE_FORBIDDEN: frozenset[str] = frozenset(
+    {"drivers", "experiments", "workloads", "faults", "unix"}
+)
+
+#: Module-level functions of :mod:`random` that mutate/read the shared
+#: global RNG (the hidden-state hazard CTMS101 exists to catch).
+GLOBAL_RANDOM_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "betavariate",
+        "binomialvariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "lognormvariate",
+        "normalvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "seed",
+        "getstate",
+        "setstate",
+        "getrandbits",
+    }
+)
+
+#: Wall-clock reading (or blocking) functions of :mod:`time`.
+WALL_CLOCK_TIME_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "sleep",
+    }
+)
+
+#: Wall-clock classmethods of :mod:`datetime` types.
+WALL_CLOCK_DATETIME_METHODS: frozenset[str] = frozenset({"now", "utcnow", "today"})

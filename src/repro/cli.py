@@ -10,6 +10,7 @@
     python -m repro baseline
     python -m repro copies
     python -m repro quickstart
+    python -m repro lint src/repro [--json] [--baseline lint-baseline.json]
 """
 
 from __future__ import annotations
@@ -146,6 +147,27 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import load_baseline, run_lint, write_baseline
+
+    try:
+        baseline = load_baseline(args.baseline) if args.baseline else {}
+    except (ValueError, OSError) as exc:
+        print(f"ctms-lint: cannot read baseline {args.baseline}: {exc}",
+              file=sys.stderr)
+        return 2
+    report = run_lint(args.paths, baseline)
+    if args.write_baseline:
+        write_baseline(report.findings, args.write_baseline)
+        print(
+            f"ctms-lint: wrote {len(report.findings)} finding(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+    print(report.render_json() if args.json else report.render_text())
+    return 0 if report.ok() else 1
+
+
 def _cmd_quickstart(args) -> int:
     from repro.core.session import CTMSSession
     from repro.experiments.testbed import HostConfig, Testbed
@@ -175,6 +197,7 @@ COMMANDS = {
     "ablate": (_cmd_ablate, "Section 5.3 ablation matrix"),
     "quickstart": (_cmd_quickstart, "Minimal two-machine CTMS stream"),
     "chaos": (_cmd_chaos, "Chaos campaign: stock vs CTMSP under fault plans"),
+    "lint": (_cmd_lint, "ctms-lint: determinism & layering static analysis"),
 }
 
 
@@ -187,6 +210,25 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list available experiments")
     for name, (_fn, help_text) in COMMANDS.items():
         p = sub.add_parser(name, help=help_text)
+        if name == "lint":
+            p.add_argument("paths", nargs="+", help="files/directories to lint")
+            p.add_argument(
+                "--json",
+                action="store_true",
+                help="machine-readable output (file/line/rule/severity)",
+            )
+            p.add_argument(
+                "--baseline",
+                default=None,
+                help="baseline JSON; baselined findings do not fail the run",
+            )
+            p.add_argument(
+                "--write-baseline",
+                default=None,
+                metavar="PATH",
+                help="write current findings to PATH as a new baseline and exit 0",
+            )
+            continue
         p.add_argument("--seed", type=int, default=1)
         if name == "fig5-4":
             p.add_argument("--minutes", type=int, default=6)

@@ -20,7 +20,6 @@ same seed render byte-identical reports.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
 from repro.core.session import CTMSSession
@@ -28,6 +27,7 @@ from repro.experiments.testbed import HostConfig, Testbed
 from repro.faults.injectors import FaultInjector
 from repro.faults.invariants import StreamInvariantMonitor
 from repro.faults.plan import FaultPlan
+from repro.sim.rng import seeded_stream
 from repro.sim.units import MS, SEC
 
 #: The paper's Section 6 target rate the survivors must sustain.
@@ -69,8 +69,14 @@ def plan_seed(seed: int, intensity: float) -> int:
 
 
 def build_plan(seed: int, intensity: float, duration_ns: int) -> FaultPlan:
-    """The one plan both profiles face at this intensity."""
-    rng = random.Random(plan_seed(seed, intensity))
+    """The one plan both profiles face at this intensity.
+
+    ``seeded_stream`` wraps the same ``random.Random(plan_seed(...))``
+    construction this module used before the lint rules landed, so
+    campaign output is seed-for-seed identical (see the golden-report
+    test) while keeping raw RNG construction inside ``sim/rng.py``.
+    """
+    rng = seeded_stream(plan_seed(seed, intensity))
     return FaultPlan.random(
         rng,
         duration_ns=duration_ns,

@@ -19,7 +19,12 @@ from repro.sim.engine import (
     SimulationError,
     Simulator,
 )
-from repro.sim.rng import RandomStreams
+from repro.sim.rng import RandomStreams, seeded_stream
+from repro.sim.sanitizer import (
+    Divergence,
+    OrderRaceError,
+    check_tiebreak_invariance,
+)
 from repro.sim.units import (
     MS,
     NS,
@@ -32,10 +37,12 @@ from repro.sim.units import (
 )
 
 __all__ = [
+    "Divergence",
     "Event",
     "Handle",
     "MS",
     "NS",
+    "OrderRaceError",
     "Process",
     "ProcessKilled",
     "RandomStreams",
@@ -43,8 +50,10 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "US",
+    "check_tiebreak_invariance",
     "format_time",
     "from_us",
+    "seeded_stream",
     "to_ms",
     "to_us",
 ]

@@ -17,6 +17,7 @@ waiting on, and a process can schedule callbacks.
 from __future__ import annotations
 
 import heapq
+import random
 from typing import Any, Callable, Generator, Iterable, Optional
 
 
@@ -175,11 +176,43 @@ class Simulator:
     ``now`` is the current simulated time in nanoseconds.  All mutation of
     simulated state must happen from inside a scheduled callback or process
     step; the calendar guarantees callbacks run in (time, FIFO) order.
+
+    **Tie-break sanitizer.**  Events scheduled at the *same* instant are
+    logically concurrent: a model whose end state depends on their FIFO
+    order has a scheduler-order race that FIFO determinism merely hides.
+    Constructing the simulator with ``tiebreak="random"`` replaces the FIFO
+    tie-break with a seeded pseudo-random one (causality is preserved -- an
+    entry scheduled *during* this instant still runs after its cause), so
+    re-running a model under a few tie-break seeds and comparing end states
+    flushes such races out.  :func:`repro.sim.sanitizer.check_tiebreak_invariance`
+    wraps that recipe.
+
+    ``record_trace=True`` appends a ``(time_ns, callable-qualname)`` tuple
+    to :attr:`trace` for every executed calendar entry, giving tests a
+    cheap fingerprint of the exact event order.
     """
 
-    def __init__(self) -> None:
+    #: Recognised tie-break policies.
+    TIEBREAKS = ("fifo", "random")
+
+    def __init__(
+        self,
+        tiebreak: str = "fifo",
+        tiebreak_seed: int = 0,
+        record_trace: bool = False,
+    ) -> None:
+        if tiebreak not in self.TIEBREAKS:
+            raise SimulationError(
+                f"unknown tiebreak {tiebreak!r}; expected one of {self.TIEBREAKS}"
+            )
         self.now: int = 0
-        self._queue: list[tuple[int, int, Handle, Callable, tuple]] = []
+        self.tiebreak = tiebreak
+        self.trace: list[tuple[int, str]] = []
+        self._record_trace = record_trace
+        self._tiebreak_rng: Optional[random.Random] = (
+            random.Random(tiebreak_seed) if tiebreak == "random" else None
+        )
+        self._queue: list[tuple[int, int, int, Handle, Callable, tuple]] = []
         self._seq = 0
         self._running = False
 
@@ -200,7 +233,13 @@ class Simulator:
             )
         handle = Handle(time_ns)
         self._seq += 1
-        heapq.heappush(self._queue, (time_ns, self._seq, handle, fn, args))
+        # Same-instant entries are concurrent; under the sanitizer their
+        # order is a seeded shuffle instead of FIFO (seq still breaks the
+        # rare jitter collision deterministically).
+        jitter = (
+            self._tiebreak_rng.getrandbits(32) if self._tiebreak_rng is not None else 0
+        )
+        heapq.heappush(self._queue, (time_ns, jitter, self._seq, handle, fn, args))
         return handle
 
     def event(self, name: str = "") -> Event:
@@ -283,13 +322,17 @@ class Simulator:
         try:
             queue = self._queue
             while queue:
-                time_ns, _seq, handle, fn, args = queue[0]
+                time_ns, _jitter, _seq, handle, fn, args = queue[0]
                 if until is not None and time_ns > until:
                     break
                 heapq.heappop(queue)
                 if handle.cancelled:
                     continue
                 self.now = time_ns
+                if self._record_trace:
+                    self.trace.append(
+                        (time_ns, getattr(fn, "__qualname__", repr(fn)))
+                    )
                 fn(*args)
             if until is not None and self.now < until:
                 self.now = until
@@ -298,7 +341,7 @@ class Simulator:
 
     def peek(self) -> Optional[int]:
         """Time of the next non-cancelled entry, or None if the calendar is empty."""
-        while self._queue and self._queue[0][2].cancelled:
+        while self._queue and self._queue[0][3].cancelled:
             heapq.heappop(self._queue)
         return self._queue[0][0] if self._queue else None
 

@@ -1,0 +1,96 @@
+"""Same-instant event-order race detector.
+
+Events scheduled at identical timestamps are logically concurrent, yet the
+calendar has to run them in *some* order -- normally FIFO.  A model whose
+observable end state depends on that arbitrary order has a scheduler-order
+race: it will reproduce perfectly (FIFO is deterministic) right up until
+an innocent refactor reorders two ``schedule`` calls and every archived
+measurement silently shifts.  The static pass (``repro lint``) cannot see
+these; this dynamic sanitizer can.
+
+The recipe: build the model once under FIFO tie-breaking to get a
+reference fingerprint, then rebuild and rerun it under ``trials`` seeded
+random tie-break permutations (:class:`~repro.sim.engine.Simulator` with
+``tiebreak="random"``).  Causality within an instant is preserved, so a
+well-formed model must land in the same end state every time; any
+divergence is reported as an :class:`OrderRaceError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import SimulationError, Simulator
+
+#: ``build(sim)`` wires a model onto the given simulator and returns a
+#: zero-argument callable producing the model's end-state fingerprint
+#: (any comparable, repr-able value: a tuple of counters, a digest...).
+ModelBuilder = Callable[[Simulator], Callable[[], Any]]
+
+
+class OrderRaceError(SimulationError):
+    """A model's end state varied with same-instant tie-break order."""
+
+    def __init__(self, reference: Any, divergences: list["Divergence"]) -> None:
+        self.reference = reference
+        self.divergences = divergences
+        detail = "; ".join(
+            f"tiebreak_seed={d.tiebreak_seed} -> {d.fingerprint!r}"
+            for d in divergences[:3]
+        )
+        if len(divergences) > 3:
+            detail += f"; ... {len(divergences) - 3} more"
+        super().__init__(
+            "same-instant event-order race: end state depends on tie-break "
+            f"order (FIFO reference {reference!r} vs {detail})"
+        )
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One permuted run that disagreed with the FIFO reference."""
+
+    tiebreak_seed: int
+    fingerprint: Any
+
+
+def _mix(seed: int, trial: int) -> int:
+    """Derive trial ``trial``'s tie-break seed from the campaign seed."""
+    return ((seed * 0x9E3779B1) ^ (trial * 0x85EBCA77) ^ 0xC2B2AE35) & 0xFFFFFFFF
+
+
+def check_tiebreak_invariance(
+    build: ModelBuilder,
+    *,
+    trials: int = 8,
+    seed: int = 0,
+    until: Optional[int] = None,
+) -> Any:
+    """Assert a model's end state is invariant to same-instant ordering.
+
+    Runs ``build`` once under FIFO and ``trials`` times under seeded random
+    tie-breaking, comparing fingerprints.  Returns the (common) fingerprint
+    on success; raises :class:`OrderRaceError` listing every divergent
+    trial otherwise.  Fully deterministic for a given ``seed``, so a caught
+    race is replayable: rebuild with ``Simulator(tiebreak="random",
+    tiebreak_seed=<reported seed>)`` to step through the losing order.
+    """
+    if trials < 1:
+        raise ValueError("need at least one permuted trial")
+
+    def one_run(tiebreak: str, tiebreak_seed: int) -> Any:
+        sim = Simulator(tiebreak=tiebreak, tiebreak_seed=tiebreak_seed)
+        fingerprint = build(sim)
+        sim.run(until=until)
+        return fingerprint()
+
+    reference = one_run("fifo", 0)
+    divergences = [
+        Divergence(tiebreak_seed=ts, fingerprint=got)
+        for ts in (_mix(seed, t) for t in range(trials))
+        if (got := one_run("random", ts)) != reference
+    ]
+    if divergences:
+        raise OrderRaceError(reference, divergences)
+    return reference

@@ -1,0 +1,75 @@
+"""Baseline machinery: burn-down accounting, round-trips, stale entries."""
+
+import json
+
+from repro.analysis import apply_baseline, load_baseline, write_baseline
+from repro.analysis.findings import Finding
+
+
+def finding(file="src/repro/core/x.py", line=10, rule="CTMS201"):
+    return Finding(
+        file=file,
+        line=line,
+        col=0,
+        rule=rule,
+        severity="error",
+        message="m",
+        hint="h",
+    )
+
+
+def test_empty_baseline_everything_is_new():
+    result = apply_baseline([finding()], {})
+    assert len(result.new) == 1
+    assert result.baselined == []
+    assert result.stale == []
+
+
+def test_baselined_findings_do_not_fail():
+    baseline = {"src/repro/core/x.py": {"CTMS201": 2}}
+    result = apply_baseline([finding(line=5), finding(line=9)], baseline)
+    assert result.new == []
+    assert len(result.baselined) == 2
+
+
+def test_findings_beyond_allowance_are_new():
+    baseline = {"src/repro/core/x.py": {"CTMS201": 1}}
+    result = apply_baseline(
+        [finding(line=5), finding(line=9), finding(line=30)], baseline
+    )
+    # The allowance covers the earliest finding; the two later ones fail.
+    assert [f.line for f in result.baselined] == [5]
+    assert [f.line for f in result.new] == [9, 30]
+
+
+def test_allowance_is_per_file_and_rule():
+    baseline = {"src/repro/core/x.py": {"CTMS201": 1}}
+    result = apply_baseline(
+        [finding(), finding(rule="CTMS103"), finding(file="src/repro/core/y.py")],
+        baseline,
+    )
+    assert {(f.file, f.rule) for f in result.new} == {
+        ("src/repro/core/x.py", "CTMS103"),
+        ("src/repro/core/y.py", "CTMS201"),
+    }
+
+
+def test_stale_entries_reported():
+    baseline = {"src/repro/core/gone.py": {"CTMS101": 3}}
+    result = apply_baseline([], baseline)
+    assert result.stale == [("src/repro/core/gone.py", "CTMS101")]
+
+
+def test_write_then_load_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    written = write_baseline(
+        [finding(line=5), finding(line=9), finding(rule="CTMS103")], path
+    )
+    assert written == {"src/repro/core/x.py": {"CTMS103": 1, "CTMS201": 2}}
+    assert load_baseline(path) == written
+    # And the file is valid, diff-stable JSON.
+    assert json.loads(path.read_text()) == written
+
+
+def test_load_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "absent.json") == {}

@@ -1,0 +1,31 @@
+"""The lint gate: ctms-lint over ``src/`` must stay clean.
+
+This is the CI teeth of the static pass (also reachable as ``make lint``).
+The committed ``lint-baseline.json`` is empty -- any new determinism,
+units, or layering violation in the library fails this test with the
+engine's own diagnostics in the assertion message.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import load_baseline, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.mark.lint
+def test_src_tree_is_lint_clean():
+    baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
+    report = run_lint([REPO_ROOT / "src" / "repro"], baseline)
+    assert report.files_scanned > 70
+    assert report.ok(), "\n" + report.render_text()
+
+
+@pytest.mark.lint
+def test_committed_src_baseline_is_empty():
+    # The satellite goal: src/ debt burned to zero.  Tests/examples may
+    # carry a documented baseline, src/ may not.
+    baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
+    assert not any(file.startswith("src/") for file in baseline)

@@ -1,0 +1,47 @@
+"""Golden-report lock on the chaos campaign's seeded output.
+
+PR 2 moved plan RNG construction from a bare ``random.Random`` in
+``experiments/chaos.py`` to :func:`repro.sim.rng.seeded_stream` (the
+lint-compliant constructor).  The refactor must be invisible: this report
+was captured from the pre-refactor implementation, and any drift in it
+means a seed no longer replays the campaign byte-for-byte.
+"""
+
+import pytest
+
+from repro.experiments.chaos import build_plan, plan_seed, run_campaign
+from repro.sim.rng import seeded_stream
+from repro.sim.units import SEC
+
+GOLDEN_REPORT = """\
+Chaos survival: identical fault plans vs stock and CTMSP
+seed 7, 2.000 s per run, invariants: loss <= 1.00%, gap <= 150 ms, >= 150.0 KB/s
+
+intensity 1.00  (4 fault events)
+  stock  delivered   155  lost    3   157.4 KB/s  survived
+  ctmsp  delivered   155  lost    3   157.4 KB/s  survived
+
+survived: stock 1/1, ctmsp 1/1"""
+
+
+@pytest.mark.chaos
+def test_campaign_report_matches_pre_refactor_golden():
+    report = run_campaign(seed=7, duration_ns=2 * SEC, intensities=(1.0,))
+    assert report.render() == GOLDEN_REPORT
+
+
+def test_seeded_stream_matches_legacy_constructor():
+    """seeded_stream(s) must replay random.Random(s) draw-for-draw."""
+    import random  # the legacy spelling, quarantined to this test
+
+    legacy = random.Random(plan_seed(7, 1.0))
+    stream = seeded_stream(plan_seed(7, 1.0))
+    assert [legacy.random() for _ in range(32)] == [
+        stream.random() for _ in range(32)
+    ]
+
+
+def test_plan_is_stable_across_builds():
+    a = build_plan(seed=7, intensity=1.0, duration_ns=2 * SEC)
+    b = build_plan(seed=7, intensity=1.0, duration_ns=2 * SEC)
+    assert a.describe() == b.describe()

@@ -53,3 +53,103 @@ def test_histograms_runs(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+# ----------------------------------------------------------------------
+# repro lint
+# ----------------------------------------------------------------------
+@pytest.fixture
+def dirty_tree(tmp_path):
+    """A tiny repro-shaped tree with one violation of each rule class."""
+    pkg = tmp_path / "repro"
+    (pkg / "hardware").mkdir(parents=True)
+    (pkg / "core").mkdir()
+    (pkg / "hardware" / "adapter.py").write_text(
+        "from repro.drivers.vca import VCADriver\n"
+    )
+    (pkg / "core" / "clocky.py").write_text(
+        "import random\n"
+        "import time\n"
+        "def bad(sim, fn):\n"
+        "    sim.schedule(1.5, fn)\n"
+        "    return random.random() + time.time()\n"
+    )
+    return tmp_path
+
+
+def test_lint_requires_paths():
+    with pytest.raises(SystemExit):
+        main(["lint"])
+
+
+def test_lint_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("X = 1\n")
+    assert main(["lint", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "1 file(s) scanned, clean" in out
+
+
+def test_lint_dirty_tree_exits_one_with_diagnostics(dirty_tree, capsys):
+    assert main(["lint", str(dirty_tree)]) == 1
+    out = capsys.readouterr().out
+    for rule in ("CTMS101", "CTMS103", "CTMS201", "CTMS301"):
+        assert rule in out
+    assert "4 new finding(s)" in out
+    assert "fix:" in out  # every finding carries its hint
+
+
+def test_lint_json_output_is_machine_readable(dirty_tree, capsys):
+    import json
+
+    assert main(["lint", str(dirty_tree), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["files_scanned"] == 2
+    findings = payload["findings"]
+    assert {f["rule"] for f in findings} == {
+        "CTMS101",
+        "CTMS103",
+        "CTMS201",
+        "CTMS301",
+    }
+    for f in findings:
+        assert set(f) == {
+            "file",
+            "line",
+            "col",
+            "rule",
+            "severity",
+            "message",
+            "hint",
+        }
+        assert f["file"].endswith(".py") and f["line"] >= 1
+        assert f["severity"] in ("error", "warning")
+    layering = next(f for f in findings if f["rule"] == "CTMS301")
+    assert layering["file"].endswith("repro/hardware/adapter.py")
+    assert layering["line"] == 1
+
+
+def test_lint_baseline_forgives_and_ratchets(dirty_tree, capsys, tmp_path):
+    baseline = tmp_path / "baseline.json"
+    # Write the current debt as the baseline, then the run is green...
+    assert main(["lint", str(dirty_tree), "--write-baseline", str(baseline)]) == 0
+    assert main(["lint", str(dirty_tree), "--baseline", str(baseline)]) == 0
+    assert "baselined finding(s) suppressed" in capsys.readouterr().out
+    # ...until a *new* violation lands on top of the baselined ones.
+    extra = dirty_tree / "repro" / "core" / "fresh.py"
+    extra.write_text("def bad(sim, fn):\n    sim.timeout(2.5)\n")
+    assert main(["lint", str(dirty_tree), "--baseline", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "fresh.py" in out and "CTMS201" in out
+
+
+def test_lint_unreadable_baseline_is_usage_error(dirty_tree, tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("[1, 2, 3]\n")
+    assert main(["lint", str(dirty_tree), "--baseline", str(bad)]) == 2
+    assert "cannot read baseline" in capsys.readouterr().err
+
+
+def test_lint_listed_in_help(capsys):
+    assert main(["list"]) == 0
+    assert "lint" in capsys.readouterr().out
