@@ -2,7 +2,7 @@ PYTHON ?= python
 
 export PYTHONPATH := src
 
-.PHONY: test lint chaos bench examples
+.PHONY: test lint chaos bench examples trace-demo
 
 # Static analysis first: a determinism/layering violation fails fast,
 # before the (slower) simulation suites run.
@@ -25,3 +25,9 @@ bench:
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) "$$f" || exit 1; done
+
+# The observability layer end to end: the worst-packet waterfall example,
+# then a stock-vs-CTMSP side-by-side Chrome-trace export (trace.json).
+trace-demo:
+	$(PYTHON) examples/trace_viewer.py
+	$(PYTHON) -m repro trace --seed 7 --seconds 2 --out trace.json

@@ -16,10 +16,17 @@ A StreamInvariantMonitor watches each run: loss stays under 1%, no
 delivery gap beyond 150 ms, the full 150 KB/s sustained.  Same seed,
 same plan, same weather -- only the engineering differs.
 
+With the observability layer (PR 3), the stock run carries a flight
+recorder: when its first invariant breaks, the recorder freezes the
+telemetry of that instant, so the verdict below comes with the black-box
+record of the failure.
+
 Run:  python examples/chaos_campaign.py
 """
 
-from repro.experiments.chaos import run_smoke
+from repro.experiments.chaos import build_plan, run_one, run_smoke
+from repro.obs.flight import FlightRecorder
+from repro.sim.units import SEC
 
 report = run_smoke(seed=1)
 print(report.render())
@@ -39,3 +46,18 @@ assert ctmsp.throughput_bytes_per_sec >= 150_000.0
 print("OK: the stock path broke invariants "
       f"({', '.join(stock.violated)}); CTMSP sustained "
       f"{ctmsp.throughput_bytes_per_sec / 1000:.1f} KB/s unharmed.")
+
+print()
+print("Replaying the stock run with a flight recorder aboard...")
+duration = 4 * SEC
+flight = FlightRecorder()
+rerun = run_one(
+    "stock",
+    build_plan(1, 2.0, duration),
+    1,
+    duration,
+    intensity=2.0,
+    flight_recorder=flight,
+)
+assert rerun.violated == stock.violated, "observed rerun must match"
+print(flight.render())

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Print the span waterfall of the worst-latency packet.
+
+Runs a traced CTMSP stream (the PR 3 observability layer riding in the
+model's own probe/listener hook points), finds the packet whose
+first-span-start to last-span-end stretch is widest, and renders its
+journey layer by layer -- the textual cousin of opening the exported
+Chrome trace in Perfetto and clicking the longest slice.
+
+Run:  python examples/trace_viewer.py
+"""
+
+from repro.experiments.tracing import run_traced
+from repro.obs.export import write_chrome_trace
+from repro.sim.units import SEC
+
+run = run_traced("ctmsp", seed=7, duration_ns=2 * SEC)
+rec = run.recorder
+
+print(
+    f"traced {run.session.sink_tracker.delivered} packets over "
+    f"{run.duration_ns / SEC:.1f} s: {len(rec.spans)} spans in "
+    f"{len(rec.categories())} categories"
+)
+
+(stream_id, packet_no), spans = rec.worst_packet()
+t0 = min(s.start_ns for s in spans)
+t1 = max(s.end_ns for s in spans)
+print()
+print(
+    f"worst packet: stream {stream_id} packet #{packet_no} "
+    f"({(t1 - t0) / 1000:.1f} us end to end)"
+)
+print()
+
+WIDTH = 56
+scale = WIDTH / max(1, t1 - t0)
+print(f"{'layer':<24} {'start(us)':>10} {'dur(us)':>9}  waterfall")
+for span in spans:
+    left = round((span.start_ns - t0) * scale)
+    bar = max(1, round(span.duration_ns * scale))
+    lane = " " * left + "#" * min(bar, WIDTH - left)
+    print(
+        f"{span.track:<24} {(span.start_ns - t0) / 1000:>10.1f} "
+        f"{span.duration_ns / 1000:>9.1f}  {lane}"
+    )
+
+out = "trace_viewer.json"
+write_chrome_trace(out, rec)
+print()
+print(f"full trace written to {out} -- open with https://ui.perfetto.dev")

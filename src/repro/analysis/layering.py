@@ -3,9 +3,10 @@
 The paper's architecture moves data driver-to-driver: hardware models sit
 at the bottom, drivers above them, the CTMS session layer above that, and
 experiments orchestrate from the top.  The measurement rig (``measure``)
-hangs strictly off to the side -- it may observe any layer's types but
-never drive actuators.  These checks read only ``import`` statements, so
-they hold for lazy function-level imports too.
+and the observability layer (``obs``) hang strictly off to the side --
+they may observe any layer's types but never drive actuators.  These
+checks read only ``import`` statements, so they hold for lazy
+function-level imports too.
 """
 
 from __future__ import annotations
@@ -15,7 +16,7 @@ from pathlib import PurePosixPath
 from typing import Optional
 
 from repro.analysis.findings import Finding
-from repro.analysis.rules import LAYERING_FORBIDDEN, MEASURE_FORBIDDEN, RULES
+from repro.analysis.rules import LAYERING_FORBIDDEN, OBSERVE_ONLY_FORBIDDEN, RULES
 
 
 def package_of(path: str) -> Optional[str]:
@@ -66,8 +67,8 @@ def check_layering(tree: ast.AST, path: str) -> list[Finding]:
     for target, node in _imported_repro_packages(tree):
         if target == package:
             continue
-        if package == "measure":
-            if target in MEASURE_FORBIDDEN:
+        if package in OBSERVE_ONLY_FORBIDDEN:
+            if target in OBSERVE_ONLY_FORBIDDEN[package]:
                 rule = RULES["CTMS302"]
                 findings.append(
                     Finding(
@@ -76,7 +77,7 @@ def check_layering(tree: ast.AST, path: str) -> list[Finding]:
                         col=node.col_offset,
                         rule=rule.id,
                         severity=rule.severity,
-                        message=f"observe-only `measure` imports `repro.{target}`",
+                        message=f"observe-only `{package}` imports `repro.{target}`",
                         hint=rule.hint,
                     )
                 )

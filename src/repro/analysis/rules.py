@@ -87,9 +87,10 @@ RULES: dict[str, Rule] = {
             id="CTMS302",
             name="measure-observe-only",
             severity=ERROR,
-            summary="measure package imports an actuator package (observe-only violation)",
-            hint="measurement taps may observe (sim/hardware/ring/core types) but "
-            "never drive drivers/experiments/faults",
+            summary="observe-only package (measure/obs) imports an actuator package",
+            hint="measurement taps and observability instruments may observe "
+            "(sim/hardware/ring/core types) but never drive "
+            "drivers/experiments/faults",
         ),
     )
 }
@@ -102,21 +103,41 @@ LAYERING_FORBIDDEN: dict[str, frozenset[str]] = {
     "sim": frozenset({"*"}),
     "analysis": frozenset({"*"}),
     "hardware": frozenset(
-        {"drivers", "core", "experiments", "workloads", "faults", "measure"}
+        {"drivers", "core", "experiments", "workloads", "faults", "measure", "obs"}
     ),
-    "unix": frozenset({"drivers", "core", "experiments", "workloads", "measure"}),
-    "ring": frozenset({"drivers", "core", "experiments", "workloads", "measure"}),
-    "protocols": frozenset({"drivers", "experiments", "workloads", "measure"}),
-    "drivers": frozenset({"experiments", "workloads", "faults", "measure"}),
-    "core": frozenset({"experiments", "workloads", "measure"}),
-    "faults": frozenset({"experiments", "workloads", "measure"}),
-    # measure is handled by CTMS302 (observe-only) below.
+    "unix": frozenset(
+        {"drivers", "core", "experiments", "workloads", "measure", "obs"}
+    ),
+    "ring": frozenset(
+        {"drivers", "core", "experiments", "workloads", "measure", "obs"}
+    ),
+    "protocols": frozenset(
+        {"drivers", "experiments", "workloads", "measure", "obs"}
+    ),
+    "drivers": frozenset({"experiments", "workloads", "faults", "measure", "obs"}),
+    "core": frozenset({"experiments", "workloads", "measure", "obs"}),
+    "faults": frozenset({"experiments", "workloads", "measure", "obs"}),
+    # measure and obs are handled by CTMS302 (observe-only) below.
 }
 
 #: What the observe-only ``measure`` package may never import.
 MEASURE_FORBIDDEN: frozenset[str] = frozenset(
     {"drivers", "experiments", "workloads", "faults", "unix"}
 )
+
+#: What the observe-only ``obs`` package may never import.  Unlike
+#: ``measure`` it may *not* reach ``obs``-adjacent actuators either; it is
+#: allowed ``measure`` (it reuses the Histogram type) and the passive model
+#: layers whose types it annotates.  Crucially: no ``experiments``.
+OBS_FORBIDDEN: frozenset[str] = frozenset(
+    {"drivers", "experiments", "workloads", "faults", "unix"}
+)
+
+#: CTMS302's per-package forbidden-import map.
+OBSERVE_ONLY_FORBIDDEN: dict[str, frozenset[str]] = {
+    "measure": MEASURE_FORBIDDEN,
+    "obs": OBS_FORBIDDEN,
+}
 
 #: Module-level functions of :mod:`random` that mutate/read the shared
 #: global RNG (the hidden-state hazard CTMS101 exists to catch).

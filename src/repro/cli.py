@@ -147,6 +147,61 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.experiments.tracing import run_traced, trace_stock_vs_ctmsp
+    from repro.obs.export import write_chrome_trace
+
+    if args.profile_only:
+        runs = [
+            run_traced(
+                args.profile_only, seed=args.seed, duration_ns=args.seconds * SEC
+            )
+        ]
+    else:
+        runs = trace_stock_vs_ctmsp(
+            seed=args.seed, duration_ns=args.seconds * SEC
+        )
+    write_chrome_trace(args.out, [(r.profile, r.recorder) for r in runs])
+    for r in runs:
+        print(
+            f"{r.profile:<6} {len(r.recorder.spans)} spans in "
+            f"{len(r.recorder.categories())} categories "
+            f"({', '.join(r.recorder.categories())}), "
+            f"{r.session.sink_tracker.delivered} packets delivered"
+        )
+    print(f"wrote {args.out} -- open with https://ui.perfetto.dev "
+          "or chrome://tracing")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.experiments.reporting import histogram_summary_table
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.scenarios import test_case_a, test_case_b
+    from repro.obs.instrument import DataPathTracer
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.span import SpanRecorder
+
+    factory = test_case_a if args.case == "a" else test_case_b
+    scenario = factory(duration_ns=args.seconds * SEC, seed=args.seed)
+    registry = MetricsRegistry()
+    # The span tracer rides along purely to fill per-layer instruments; the
+    # four-point pcat histograms are computed exactly as without it.
+    tracer = DataPathTracer(SpanRecorder(), registry)
+    result = run_scenario(scenario, tracer=tracer)
+    if args.json:
+        print(registry.to_json())
+        return 0
+    print(
+        histogram_summary_table(
+            result.histograms, f"Test Case {args.case.upper()}"
+        )
+    )
+    print()
+    print(registry.render_tables())
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import load_baseline, run_lint, write_baseline
 
@@ -197,6 +252,8 @@ COMMANDS = {
     "ablate": (_cmd_ablate, "Section 5.3 ablation matrix"),
     "quickstart": (_cmd_quickstart, "Minimal two-machine CTMS stream"),
     "chaos": (_cmd_chaos, "Chaos campaign: stock vs CTMSP under fault plans"),
+    "trace": (_cmd_trace, "Export a Chrome-trace/Perfetto JSON of a traced run"),
+    "metrics": (_cmd_metrics, "Per-layer metrics registry for one test case"),
     "lint": (_cmd_lint, "ctms-lint: determinism & layering static analysis"),
 }
 
@@ -238,6 +295,27 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--seconds", type=int, default=30)
         if name == "histograms":
             p.add_argument("case", choices=["a", "b"])
+        if name == "trace":
+            p.add_argument(
+                "--out",
+                default="trace.json",
+                help="output path for the Chrome-trace JSON",
+            )
+            p.add_argument(
+                "--profile-only",
+                choices=["stock", "ctmsp"],
+                default=None,
+                help="trace a single profile instead of both side by side",
+            )
+        if name == "metrics":
+            p.add_argument(
+                "--case", choices=["a", "b"], default="a",
+                help="measurement test case (default a)",
+            )
+            p.add_argument(
+                "--json", action="store_true",
+                help="machine-readable registry dump",
+            )
         if name == "chaos":
             p.add_argument(
                 "--smoke",

@@ -19,7 +19,7 @@ a Ring Purge.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from repro.hardware import calibration
 from repro.ring.frames import Frame
@@ -60,6 +60,9 @@ class CTMSPPacket:
     #: Timestamp of the source interrupt that produced this packet (set by
     #: the source driver; used by delivery statistics, not by the wire).
     born_at: int = 0
+    #: Opaque observability context riding along the data path (set by
+    #: ``repro.obs`` instrumentation when tracing; never read by the model).
+    trace_ctx: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.data_bytes < 0:

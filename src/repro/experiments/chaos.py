@@ -118,9 +118,16 @@ def run_one(
     seed: int,
     duration_ns: int,
     intensity: float = 0.0,
+    flight_recorder=None,
 ) -> ChaosRun:
-    """Run one profile under one fault plan on a fresh testbed."""
+    """Run one profile under one fault plan on a fresh testbed.
+
+    ``flight_recorder`` (a :class:`repro.obs.flight.FlightRecorder`) rides
+    on the testbed; the invariant monitor snapshots through it at the first
+    violation of each invariant.  It never alters the run itself.
+    """
     bed = Testbed(seed=seed)
+    bed.flight_recorder = flight_recorder
     tx = bed.add_host(profile_host_config(profile, TX_HOST))
     rx = bed.add_host(profile_host_config(profile, RX_HOST))
     session = CTMSSession(tx.kernel, rx.kernel)

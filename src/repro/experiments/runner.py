@@ -106,12 +106,28 @@ def build_scenario(scenario: Scenario, with_tap: bool = False):
     return bed, tx, rx, background, tap
 
 
-def run_scenario(scenario: Scenario, with_tap: bool = False) -> RunResult:
-    """Run one scenario and compute the seven histograms."""
+def run_scenario(
+    scenario: Scenario, with_tap: bool = False, tracer=None
+) -> RunResult:
+    """Run one scenario and compute the seven histograms.
+
+    ``tracer`` (a :class:`repro.obs.instrument.DataPathTracer`) attaches
+    span instrumentation to the assembled hosts and the ring.  It rides in
+    probe/listener hook points only, so traced runs replay the identical
+    event calendar (the overhead-guard test holds this).
+    """
     bed, tx, rx, background, tap = build_scenario(scenario, with_tap=with_tap)
     pcat = PcatTimestamper(bed.sim, bed.rng)
     pcat.start()
     _wire_measurement_points(pcat, tx, rx)
+    if tracer is not None:
+        if tracer.recorder.sim is None:
+            tracer.recorder.sim = bed.sim
+        # Receiver attachment wraps the delivery handle, which must be in
+        # place before session establishment registers it with the driver.
+        tracer.attach_transmitter(tx)
+        tracer.attach_ring(bed.ring)
+        tracer.attach_receiver(rx)
 
     session = CTMSSession(tx.kernel, rx.kernel)
     session.establish()
@@ -119,6 +135,8 @@ def run_scenario(scenario: Scenario, with_tap: bool = False) -> RunResult:
         background.start()
     bed.run(scenario.duration_ns)
 
+    if tracer is not None:
+        tracer.finalize(scenario.duration_ns, session=session, testbed=bed)
     histograms = compute_histograms(pcat)
     return RunResult(
         scenario=scenario,

@@ -89,8 +89,12 @@ class Testbed:
         mac_utilization: float = calibration.MAC_TRAFFIC_UTILIZATION_LOW,
         insertions_per_day: float = 0.0,
         soft_errors_per_hour: float = 0.0,
+        profile: bool = False,
     ) -> None:
-        self.sim = Simulator()
+        self.sim = Simulator(profile=profile)
+        #: Optional observability flight recorder (``repro.obs.flight``).
+        #: Invariant monitors snapshot through it, duck-typed, when set.
+        self.flight_recorder = None
         self.rng = RandomStreams(seed)
         self.ring = TokenRing(self.sim, total_stations=total_stations)
         self.monitor = ActiveMonitor(

@@ -194,14 +194,24 @@ class StreamInvariantMonitor:
         if invariant in self._seen:
             return
         self._seen.add(invariant)
+        snapshot = self._snapshot()
         self.violations.append(
             Violation(
                 invariant=invariant,
                 detail=detail,
                 at_ns=self.sim.now,
-                snapshot=self._snapshot(),
+                snapshot=snapshot,
             )
         )
+        # Duck-typed hook into the observability flight recorder, when the
+        # testbed carries one -- faults never imports repro.obs.
+        flight = getattr(self.testbed, "flight_recorder", None)
+        if flight is not None:
+            flight.snapshot(
+                invariant,
+                self.sim.now,
+                {"detail": detail, **snapshot},
+            )
 
     def _snapshot(self) -> dict[str, Any]:
         tracker = self.session.sink_tracker

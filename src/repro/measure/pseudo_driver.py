@@ -14,9 +14,10 @@ inline, exactly where the real procedure call sat.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Optional
 
 from repro.hardware import calibration
+from repro.obs.span import PointEvent, SpanRecorder
 from repro.sim.engine import Simulator
 from repro.sim.units import US
 
@@ -24,21 +25,34 @@ from repro.sim.units import US
 PROBE_INTRUSION = 18 * US
 
 
-@dataclass(frozen=True)
-class TraceEntry:
-    point: str
-    packet_no: int
-    quantized_ns: int
+class TraceEntry(PointEvent):
+    """A pseudo-driver record: a :class:`PointEvent` whose timestamp is the
+    122 us-quantized reading.  Kept as a named subclass so traces read as
+    what the instrument wrote; ``quantized_ns`` is the historical accessor.
+    """
+
+    @property
+    def quantized_ns(self) -> int:
+        return self.t_ns
 
 
 class PseudoDriverTracer:
     """In-kernel event recording through a pseudo device."""
 
-    def __init__(self, sim: Simulator, name: str = "pseudo") -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "pseudo",
+        recorder: Optional[SpanRecorder] = None,
+    ) -> None:
         self.sim = sim
         self.name = name
         self.entries: list[TraceEntry] = []
         self.enabled = True  # the open() flag in the Token Ring driver
+        #: Optional shared span recorder: every entry is mirrored onto the
+        #: common timeline so the paper's four points and the span tracer
+        #: coexist in one trace.
+        self.recorder = recorder
 
     def probe(self, point: str):
         """Build a driver probe for ``point``.
@@ -58,6 +72,8 @@ class PseudoDriverTracer:
             granule = calibration.RTPC_CLOCK_GRANULARITY
             quantized = (self.sim.now // granule) * granule
             self.entries.append(TraceEntry(point, packet_no, quantized))
+            if self.recorder is not None:
+                self.recorder.point(point, packet_no, t_ns=quantized)
             return PROBE_INTRUSION
 
         return record

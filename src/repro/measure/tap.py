@@ -17,7 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Optional
+
 from repro.core.ctmsp import CTMSPPacket
+from repro.obs.span import SpanRecorder
 from repro.ring.frames import Frame
 from repro.ring.network import TokenRing
 from repro.sim.engine import Simulator
@@ -46,12 +49,21 @@ class TapMonitor:
     #: Minimum gap between records the capture path can sustain.
     MIN_RECORD_GAP = 120 * US
 
-    def __init__(self, sim: Simulator, ring: TokenRing, name: str = "tap") -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        ring: TokenRing,
+        name: str = "tap",
+        recorder: Optional[SpanRecorder] = None,
+    ) -> None:
         self.sim = sim
         self.name = name
         self.records: list[TapRecord] = []
         self._last_record_at = -(10**9)
         self.stats_missed = 0
+        #: Optional shared span recorder: captures mirror onto the common
+        #: timeline as instants on the ``<name>/capture`` track.
+        self.recorder = recorder
         ring.monitors.append(self._on_wire)
 
     def _on_wire(self, frame: Frame, t_ns: int, status: str) -> None:
@@ -74,6 +86,16 @@ class TapMonitor:
                 packet_no=packet_no,
             )
         )
+        if self.recorder is not None:
+            self.recorder.instant(
+                f"tap {frame.protocol}"
+                + (f" #{packet_no}" if packet_no is not None else ""),
+                "tap",
+                f"{self.name}/capture",
+                t_ns=t_ns,
+                status=status,
+                total_length=frame.wire_bytes,
+            )
 
     # ------------------------------------------------------------------
     # the analyses the paper ran on TAP traces

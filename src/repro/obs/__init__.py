@@ -1,0 +1,61 @@
+"""Observability layer: spans, metrics, exporters, flight recorder.
+
+``repro.obs`` is *observe-only* in exactly the sense ``repro.measure`` is:
+it may read from any model layer but must never mutate model state,
+schedule simulation events, or read a wall clock -- ctms-lint rule CTMS302
+holds both packages to that contract.  Everything here rides inside hook
+points the model already exposes (IRQ listeners, driver probes, ring
+monitors, delivery handles), so a traced run replays the exact event
+calendar of an untraced one.
+"""
+
+from repro.obs.export import chrome_trace, render_chrome_json, write_chrome_trace
+from repro.obs.flight import FlightRecorder, FlightSnapshot
+from repro.obs.instrument import DataPathTracer
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    HistogramInstrument,
+    MetricsRegistry,
+)
+from repro.obs.span import (
+    CATEGORIES,
+    CATEGORY_ADAPTER,
+    CATEGORY_DISK,
+    CATEGORY_KERNEL_COPY,
+    CATEGORY_PLAYOUT,
+    CATEGORY_PROTOCOL,
+    CATEGORY_RING,
+    InstantEvent,
+    PointEvent,
+    Span,
+    SpanRecorder,
+    TraceContext,
+    packet_key,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "CATEGORY_ADAPTER",
+    "CATEGORY_DISK",
+    "CATEGORY_KERNEL_COPY",
+    "CATEGORY_PLAYOUT",
+    "CATEGORY_PROTOCOL",
+    "CATEGORY_RING",
+    "Counter",
+    "DataPathTracer",
+    "FlightRecorder",
+    "FlightSnapshot",
+    "Gauge",
+    "HistogramInstrument",
+    "InstantEvent",
+    "MetricsRegistry",
+    "PointEvent",
+    "Span",
+    "SpanRecorder",
+    "TraceContext",
+    "chrome_trace",
+    "packet_key",
+    "render_chrome_json",
+    "write_chrome_trace",
+]

@@ -1,0 +1,182 @@
+"""Chrome-trace / Perfetto JSON export for recorded spans.
+
+Spans become *async* begin/end pairs (``ph: "b"`` / ``ph: "e"``) in the
+Trace Event Format, because data-path spans legitimately overlap on one
+track (during driver catch-up, packet N+1's kernel-copy span starts while
+packet N's is still open -- the very effect behind Figure 5-2's second
+mode) and async events are the phase pair that tolerates overlap.
+Instants become ``ph: "i"`` markers.
+
+The ``track`` string of a span maps to the pid/tid plane: the part before
+the first ``/`` is the *process* (a machine, or the ring itself), the rest
+is the *thread* (a path layer).  Metadata events name both so Perfetto and
+``chrome://tracing`` render labeled lanes.
+
+Output is byte-deterministic for a deterministic recorder: events sort on
+``(ts, phase, id, name)``, ids are assigned in sorted-span order, and JSON
+is serialized with sorted keys and fixed separators -- the property the
+golden-file test locks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence, Union
+
+from repro.obs.span import SpanRecorder
+
+#: Phase sort ranks: metadata first, then begins before ends at equal ts.
+_PHASE_ORDER = {"M": 0, "b": 1, "i": 2, "e": 3}
+
+
+def _split_track(track: str) -> tuple[str, str]:
+    if "/" in track:
+        process, thread = track.split("/", 1)
+    else:
+        process, thread = track, track
+    return process, thread
+
+
+def chrome_trace(
+    recorders: Union[SpanRecorder, Sequence[tuple[str, SpanRecorder]]],
+) -> dict[str, Any]:
+    """Build the Trace Event Format dict for one or more recorders.
+
+    ``recorders`` is a single :class:`SpanRecorder` or a sequence of
+    ``(label, recorder)`` pairs; labels prefix process names so two runs
+    (say ``stock`` and ``ctmsp``) can share one timeline side by side.
+    """
+    if isinstance(recorders, SpanRecorder):
+        named: list[tuple[str, SpanRecorder]] = [("", recorders)]
+    else:
+        named = list(recorders)
+
+    raw: list[tuple[int, str, str, str, str, dict[str, Any]]] = []
+    for label, recorder in named:
+        # The label prefixes *process* names, so a stock and a ctmsp run
+        # render as separate per-host process groups on one timeline.
+        prefix = f"{label}/" if label else ""
+        for span in sorted(
+            recorder.spans,
+            key=lambda s: (s.start_ns, s.end_ns, s.track, s.category, s.name),
+        ):
+            process, thread = _split_track(span.track)
+            raw.append(
+                (span.start_ns, "b", span.name, span.category, prefix + process, {"thread": thread, "args": span.args, "end_ns": span.end_ns})
+            )
+        for inst in sorted(
+            recorder.instants, key=lambda i: (i.t_ns, i.track, i.name)
+        ):
+            process, thread = _split_track(inst.track)
+            raw.append(
+                (inst.t_ns, "i", inst.name, inst.category, prefix + process, {"thread": thread, "args": inst.args})
+            )
+
+    # pid/tid assignment: sorted process names, then sorted threads within.
+    processes = sorted({entry[4] for entry in raw})
+    pids = {proc: i + 1 for i, proc in enumerate(processes)}
+    threads: dict[str, list[str]] = {proc: [] for proc in processes}
+    for entry in raw:
+        proc, thread = entry[4], entry[5]["thread"]
+        if thread not in threads[proc]:
+            threads[proc].append(thread)
+    tids = {
+        (proc, thread): j + 1
+        for proc in processes
+        for j, thread in enumerate(sorted(threads[proc]))
+    }
+
+    events: list[dict[str, Any]] = []
+    for proc in processes:
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pids[proc],
+                "tid": 0,
+                "args": {"name": proc},
+            }
+        )
+        for thread in sorted(threads[proc]):
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pids[proc],
+                    "tid": tids[(proc, thread)],
+                    "args": {"name": thread},
+                }
+            )
+
+    span_events: list[dict[str, Any]] = []
+    next_id = 1
+    for t_ns, ph, name, category, process, extra in raw:
+        pid = pids[process]
+        tid = tids[(process, extra["thread"])]
+        if ph == "b":
+            span_id = f"0x{next_id:x}"
+            next_id += 1
+            common = {
+                "cat": category,
+                "id": span_id,
+                "name": name,
+                "pid": pid,
+                "tid": tid,
+            }
+            span_events.append(
+                {**common, "ph": "b", "ts": t_ns / 1000, "args": extra["args"]}
+            )
+            span_events.append(
+                {**common, "ph": "e", "ts": extra["end_ns"] / 1000, "args": {}}
+            )
+        else:
+            span_events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "cat": category,
+                    "name": name,
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": t_ns / 1000,
+                    "args": extra["args"],
+                }
+            )
+    span_events.sort(
+        key=lambda e: (
+            e["ts"],
+            _PHASE_ORDER[e["ph"]],
+            e.get("id", ""),
+            e["name"],
+        )
+    )
+    events.extend(span_events)
+
+    dropped = sum(
+        rec.open_count + rec.stats_dropped_open for _label, rec in named
+    )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "simulated-ns",
+            "dropped_open_spans": dropped,
+        },
+    }
+
+
+def render_chrome_json(
+    recorders: Union[SpanRecorder, Sequence[tuple[str, SpanRecorder]]],
+) -> str:
+    """Deterministic JSON text for :func:`chrome_trace`."""
+    return json.dumps(chrome_trace(recorders), sort_keys=True, separators=(",", ":"))
+
+
+def write_chrome_trace(
+    path: str,
+    recorders: Union[SpanRecorder, Sequence[tuple[str, SpanRecorder]]],
+) -> None:
+    """Write a trace file loadable by Perfetto / ``chrome://tracing``."""
+    with open(path, "w") as f:
+        f.write(render_chrome_json(recorders))
+        f.write("\n")

@@ -1,0 +1,336 @@
+"""Attach-only instrumentation of the CTMS data path.
+
+:class:`DataPathTracer` wires a :class:`~repro.obs.span.SpanRecorder` (and
+optionally a :class:`~repro.obs.metrics.MetricsRegistry`) into an
+assembled host pair using only the hook points the model already exposes
+for measurement: the VCA's electrical IRQ listeners, the driver probe
+points p2/p3/p4, the ring's wire monitors, and the sink delivery handle
+(the same instance-attribute wrap ``PresentationMachine.attach_to_vca``
+uses).  The actuator layers never import ``repro.obs``; the tracer reaches
+*down* into them, which is why ctms-lint can hold ``obs`` to the same
+observe-only rule as ``measure``.
+
+Zero perturbation is a hard guarantee, kept three ways:
+
+* probe callbacks return ``None``, so ``_fire_probe`` yields no extra
+  ``Exec`` and the CPU timeline is untouched;
+* listeners and monitors are synchronous appends to existing lists,
+  called inline by code that already runs;
+* the delivery wrapper is a generator with no yields of its own -- it
+  delegates with ``yield from`` and records on completion.
+
+Nothing here calls ``sim.schedule``/``sim.at``; the overhead-guard test
+asserts a traced run's event-sequence counter equals the untraced run's.
+
+Span plan (one packet, six categories):
+
+====================  =====================================================
+``disk``              VCA IRQ pulse -> interrupt-handler entry (p2)
+``kernel-copy``       p2 -> pre-transmit (p3): mbuf alloc, header/data
+                      copies, queueing, fixed-DMA-buffer copy
+``adapter``           tx: p3 -> frame on the wire; rx: wire end -> CTMSP
+                      classification (p4)
+``ring``              wire transit (serialization at 4 Mbit/s)
+``protocol``          p4 -> sink delivery complete
+``playout``           delivery -> projected drain of the playout buffer
+                      (a projection: level / rate at delivery time)
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.ctmsp import CTMSPPacket
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import (
+    CATEGORY_ADAPTER,
+    CATEGORY_DISK,
+    CATEGORY_KERNEL_COPY,
+    CATEGORY_PLAYOUT,
+    CATEGORY_PROTOCOL,
+    CATEGORY_RING,
+    SpanRecorder,
+    TraceContext,
+    packet_key,
+)
+from repro.sim.units import SEC, US
+
+
+class DataPathTracer:
+    """End-to-end per-packet tracing across one ring's hosts."""
+
+    def __init__(
+        self,
+        recorder: SpanRecorder,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.recorder = recorder
+        self.metrics = metrics
+        #: wire-end times awaiting the receive-side p4 probe, keyed by
+        #: (stream_id, packet_no).
+        self._rx_pending: dict[tuple[int, int], int] = {}
+        self._playouts: dict[str, Any] = {}
+        self._tx_hosts: list[Any] = []
+        self._rx_hosts: list[Any] = []
+        self._rings: list[Any] = []
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    def attach_transmitter(self, host: Any) -> None:
+        """Instrument a source host: IRQ line, p2, p3."""
+        rec = self.recorder
+        name = host.name
+        vca_driver = host.vca_driver
+        stream_id = vca_driver.config.stream_id
+        pulse = {"n": 0}
+
+        def on_irq_pulse(_t_ns: int) -> None:
+            packet_no = pulse["n"]
+            pulse["n"] += 1
+            rec.begin(
+                packet_key(stream_id, packet_no, CATEGORY_DISK),
+                name=f"{CATEGORY_DISK} #{packet_no}",
+                category=CATEGORY_DISK,
+                track=f"{name}/{CATEGORY_DISK}",
+                stream_id=stream_id,
+                packet_no=packet_no,
+            )
+
+        host.vca_adapter.irq_listeners.append(on_irq_pulse)
+
+        def probe_p2(packet_no: int) -> None:
+            rec.end(packet_key(stream_id, packet_no, CATEGORY_DISK))
+            rec.begin(
+                packet_key(stream_id, packet_no, CATEGORY_KERNEL_COPY),
+                name=f"{CATEGORY_KERNEL_COPY} #{packet_no}",
+                category=CATEGORY_KERNEL_COPY,
+                track=f"{name}/{CATEGORY_KERNEL_COPY}",
+                stream_id=stream_id,
+                packet_no=packet_no,
+            )
+            if self.metrics is not None:
+                self.metrics.histogram(
+                    f"unix.mbuf.{name}.bytes_in_use", unit="bytes", bin_width=2048
+                ).record(host.kernel.mbufs.bytes_in_use())
+            return None
+
+        vca_driver.add_probe("p2", probe_p2)
+
+        def probe_p3(frame: Any) -> None:
+            packet = frame.payload
+            if isinstance(packet, CTMSPPacket):
+                rec.end(
+                    packet_key(
+                        packet.stream_id, packet.packet_no, CATEGORY_KERNEL_COPY
+                    )
+                )
+                rec.begin(
+                    packet_key(packet.stream_id, packet.packet_no, CATEGORY_ADAPTER),
+                    name=f"adapter-tx #{packet.packet_no}",
+                    category=CATEGORY_ADAPTER,
+                    track=f"{name}/{CATEGORY_ADAPTER}",
+                    stream_id=packet.stream_id,
+                    packet_no=packet.packet_no,
+                    side="tx",
+                )
+                packet.trace_ctx = TraceContext(
+                    stream_id=packet.stream_id,
+                    packet_no=packet.packet_no,
+                    born_ns=packet.born_at,
+                )
+                if self.metrics is not None:
+                    self.metrics.histogram(
+                        f"drivers.tr.{name}.tx_queue_depth", unit="frames", bin_width=1
+                    ).record(host.tr_driver.tx_queue_depth)
+            return None
+
+        host.tr_driver.add_probe("p3", probe_p3)
+        self._tx_hosts.append(host)
+
+    def attach_ring(self, ring: Any) -> None:
+        """Instrument the wire: adapter-tx handoff, ring transit, losses."""
+        rec = self.recorder
+
+        def on_wire(frame: Any, t_ns: int, status: str) -> None:
+            ctx = getattr(frame.payload, "trace_ctx", None)
+            if ctx is None:
+                return
+            rec.end(
+                packet_key(ctx.stream_id, ctx.packet_no, CATEGORY_ADAPTER)
+            )
+            if status != "wire":
+                rec.instant(
+                    f"lost #{ctx.packet_no}",
+                    CATEGORY_RING,
+                    "ring/wire",
+                    stream_id=ctx.stream_id,
+                    packet_no=ctx.packet_no,
+                    status=status,
+                )
+                if self.metrics is not None:
+                    self.metrics.counter("ring.frames_lost").incr()
+                return
+            rec.add_span(
+                f"{CATEGORY_RING} #{ctx.packet_no}",
+                CATEGORY_RING,
+                "ring/wire",
+                t_ns,
+                t_ns + frame.wire_time_ns,
+                stream_id=ctx.stream_id,
+                packet_no=ctx.packet_no,
+                wire_bytes=frame.wire_bytes,
+            )
+            self._rx_pending[(ctx.stream_id, ctx.packet_no)] = (
+                t_ns + frame.wire_time_ns
+            )
+
+        ring.monitors.append(on_wire)
+        self._rings.append(ring)
+
+    def attach_receiver(self, host: Any) -> None:
+        """Instrument a sink host: p4 and the delivery handle.
+
+        Must run *before* session establishment: the delivery wrapper is
+        installed as an instance attribute so the establishment ioctl
+        registers the wrapped handle with the Token Ring driver.
+        """
+        rec = self.recorder
+        name = host.name
+
+        def probe_p4(frame: Any) -> None:
+            packet = frame.payload
+            if isinstance(packet, CTMSPPacket):
+                ctx = getattr(packet, "trace_ctx", None)
+                if ctx is not None:
+                    start = self._rx_pending.pop(
+                        (ctx.stream_id, ctx.packet_no), None
+                    )
+                    if start is not None:
+                        rec.add_span(
+                            f"adapter-rx #{ctx.packet_no}",
+                            CATEGORY_ADAPTER,
+                            f"{name}/{CATEGORY_ADAPTER}",
+                            start,
+                            rec.sim.now,
+                            stream_id=ctx.stream_id,
+                            packet_no=ctx.packet_no,
+                            side="rx",
+                        )
+                    rec.begin(
+                        packet_key(ctx.stream_id, ctx.packet_no, CATEGORY_PROTOCOL),
+                        name=f"{CATEGORY_PROTOCOL} #{ctx.packet_no}",
+                        category=CATEGORY_PROTOCOL,
+                        track=f"{name}/{CATEGORY_PROTOCOL}",
+                        stream_id=ctx.stream_id,
+                        packet_no=ctx.packet_no,
+                    )
+            return None
+
+        host.tr_driver.add_probe("p4", probe_p4)
+
+        original = host.vca_driver.ctms_deliver
+
+        def traced_deliver(frame, residency, chain):
+            result = yield from original(frame, residency, chain)
+            ctx = getattr(frame.payload, "trace_ctx", None)
+            if ctx is not None:
+                rec.end(
+                    packet_key(ctx.stream_id, ctx.packet_no, CATEGORY_PROTOCOL)
+                )
+                self._record_playout(name, ctx)
+            return result
+
+        host.vca_driver.ctms_deliver = traced_deliver
+        self._rx_hosts.append(host)
+
+    def attach_playout(self, presentation: Any, host_name: str) -> None:
+        """Register a PresentationMachine for projected playout spans."""
+        self._playouts[host_name] = presentation
+
+    def _record_playout(self, host_name: str, ctx: TraceContext) -> None:
+        presentation = self._playouts.get(host_name)
+        if presentation is None:
+            return
+        # level_bytes drains to now first; at the same instant as the
+        # delivery that is a zero-elapsed no-op, so reading it is safe.
+        level = presentation.level_bytes
+        now = self.recorder.sim.now
+        self.recorder.add_span(
+            f"{CATEGORY_PLAYOUT} #{ctx.packet_no}",
+            CATEGORY_PLAYOUT,
+            f"{host_name}/{CATEGORY_PLAYOUT}",
+            now,
+            now + round(level / presentation.rate * SEC),
+            stream_id=ctx.stream_id,
+            packet_no=ctx.packet_no,
+            level_bytes=int(level),
+        )
+        if self.metrics is not None:
+            self.metrics.histogram(
+                f"core.playout.{host_name}.depth_bytes",
+                unit="bytes",
+                bin_width=1024,
+            ).record(int(level))
+
+    # ------------------------------------------------------------------
+    # end-of-run metric collection
+    # ------------------------------------------------------------------
+    def finalize(
+        self,
+        elapsed_ns: int,
+        session: Any = None,
+        testbed: Any = None,
+    ) -> None:
+        """Fold counters, ledgers and span durations into the registry."""
+        if self.metrics is None:
+            return
+        m = self.metrics
+        rec = self.recorder
+        for category, spans in sorted(rec.spans_by_category().items()):
+            hist = m.histogram(f"obs.span.{category}_ns", unit="ns", bin_width=50 * US)
+            for span in spans:
+                hist.record(span.duration_ns)
+        m.counter("obs.spans_recorded").incr(len(rec.spans))
+        m.counter("obs.spans_dropped_open").incr(
+            rec.open_count + rec.stats_dropped_open
+        )
+        for host in self._tx_hosts + self._rx_hosts:
+            name = host.name
+            ledger = host.kernel.ledger
+            m.counter(f"unix.copy.{name}.cpu_copies").incr(ledger.cpu_copy_count())
+            m.counter(f"unix.copy.{name}.dma_copies").incr(ledger.dma_copy_count())
+            m.counter(f"unix.copy.{name}.cpu_bytes", unit="bytes").incr(
+                ledger.cpu_bytes()
+            )
+            pool = host.kernel.mbufs
+            m.gauge(f"unix.mbuf.{name}.peak_bytes_in_use", unit="bytes").set(
+                pool.peak_bytes_in_use()
+            )
+            m.counter(f"unix.mbuf.{name}.alloc_failures").incr(pool.stats_failures)
+        for i, ring in enumerate(self._rings):
+            suffix = "" if len(self._rings) == 1 else f".{i}"
+            m.gauge(f"ring.utilization{suffix}", unit="fraction").set(
+                round(ring.utilization(elapsed_ns), 6)
+            )
+            m.counter(f"ring.purges{suffix}").incr(ring.stats_purges)
+            m.counter(f"ring.frames_lost_to_purge{suffix}").incr(
+                ring.stats_frames_lost_to_purge
+            )
+        if session is not None:
+            m.counter("core.session.setup_attempts").incr(session.setup_attempts)
+            m.counter("core.session.delivered").incr(session.sink_tracker.delivered)
+            m.counter("core.session.lost_packets").incr(
+                session.sink_tracker.lost_packets
+            )
+        for host_name, presentation in sorted(self._playouts.items()):
+            m.counter(f"core.playout.{host_name}.glitches").incr(
+                presentation.glitch_count
+            )
+            m.counter(f"core.playout.{host_name}.skips").incr(presentation.skips)
+            m.gauge(f"core.playout.{host_name}.peak_level", unit="bytes").set(
+                presentation.peak_level
+            )
+        if testbed is not None:
+            m.gauge("sim.events_scheduled").set(testbed.sim._seq)

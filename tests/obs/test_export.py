@@ -1,0 +1,118 @@
+"""Chrome-trace export: golden bytes and Trace Event Format schema."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.tracing import run_traced, trace_stock_vs_ctmsp
+from repro.obs.export import chrome_trace, render_chrome_json
+from repro.obs.span import CATEGORIES
+from repro.sim.units import MS
+
+pytestmark = pytest.mark.obs
+
+GOLDEN = Path(__file__).parent / "golden_trace.json"
+
+#: The seeded single-stream run the golden file pins.
+GOLDEN_SEED = 7
+GOLDEN_DURATION = 250 * MS
+
+
+def golden_json() -> str:
+    run = run_traced("ctmsp", seed=GOLDEN_SEED, duration_ns=GOLDEN_DURATION)
+    return render_chrome_json(run.recorder)
+
+
+def test_golden_trace_bytes():
+    """A seeded run exports byte-identical trace JSON, forever."""
+    assert golden_json() + "\n" == GOLDEN.read_text()
+
+
+def test_same_seed_same_bytes():
+    assert golden_json() == golden_json()
+
+
+def validate_schema(doc: dict) -> None:
+    events = doc["traceEvents"]
+    assert events, "empty trace"
+    # Async b/e pairing: every id opens exactly once and closes exactly
+    # once, begin-before-end, within one (pid, tid, cat, name) identity.
+    begins: dict[str, dict] = {}
+    ended: set = set()
+    prev_ts = None
+    for ev in events:
+        assert ev["ph"] in ("M", "b", "e", "i")
+        if ev["ph"] == "M":
+            assert ev["name"] in ("process_name", "thread_name")
+            assert isinstance(ev["pid"], int) and ev["pid"] >= 1
+            continue
+        # Non-metadata events are sorted by timestamp.
+        if prev_ts is not None:
+            assert ev["ts"] >= prev_ts
+        prev_ts = ev["ts"]
+        assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+        if ev["ph"] == "b":
+            assert ev["id"] not in begins and ev["id"] not in ended
+            begins[ev["id"]] = ev
+        elif ev["ph"] == "e":
+            assert ev["id"] in begins, f"end without begin: {ev['id']}"
+            b = begins.pop(ev["id"])
+            ended.add(ev["id"])
+            assert ev["ts"] >= b["ts"]
+            assert (ev["pid"], ev["tid"], ev["cat"], ev["name"]) == (
+                b["pid"],
+                b["tid"],
+                b["cat"],
+                b["name"],
+            )
+    assert not begins, f"unclosed span ids: {sorted(begins)}"
+
+    # pid/tid mapping: every (pid, tid) used by a span event is named by
+    # metadata, and process names are unique.
+    named_pids = {
+        ev["pid"]: ev["args"]["name"]
+        for ev in events
+        if ev["ph"] == "M" and ev["name"] == "process_name"
+    }
+    named_tids = {
+        (ev["pid"], ev["tid"])
+        for ev in events
+        if ev["ph"] == "M" and ev["name"] == "thread_name"
+    }
+    assert len(set(named_pids.values())) == len(named_pids)
+    for ev in events:
+        if ev["ph"] in ("b", "e", "i"):
+            assert ev["pid"] in named_pids
+            assert (ev["pid"], ev["tid"]) in named_tids
+
+
+def test_golden_trace_schema():
+    validate_schema(json.loads(GOLDEN.read_text()))
+
+
+def test_stock_vs_ctmsp_export_has_all_categories():
+    """The acceptance-criteria run: both profiles, >= 6 span categories."""
+    runs = trace_stock_vs_ctmsp(seed=3, duration_ns=250 * MS)
+    doc = chrome_trace([(r.profile, r.recorder) for r in runs])
+    validate_schema(doc)
+    cats = {ev["cat"] for ev in doc["traceEvents"] if "cat" in ev}
+    assert set(CATEGORIES) <= cats
+    assert len(cats) >= 6
+    # Both profiles appear as distinct labeled processes.
+    process_names = {
+        ev["args"]["name"]
+        for ev in doc["traceEvents"]
+        if ev["ph"] == "M" and ev["name"] == "process_name"
+    }
+    assert any(p.startswith("stock/") for p in process_names)
+    assert any(p.startswith("ctmsp/") for p in process_names)
+
+
+def test_clock_metadata_and_drop_accounting():
+    run = run_traced("ctmsp", seed=GOLDEN_SEED, duration_ns=GOLDEN_DURATION)
+    doc = chrome_trace(run.recorder)
+    assert doc["otherData"]["clock"] == "simulated-ns"
+    assert doc["otherData"]["dropped_open_spans"] == (
+        run.recorder.open_count + run.recorder.stats_dropped_open
+    )

@@ -1,0 +1,63 @@
+"""The paper-era instruments share the span recorder's timeline."""
+
+import pytest
+
+from repro.hardware import calibration
+from repro.measure.pseudo_driver import PROBE_INTRUSION, PseudoDriverTracer, TraceEntry
+from repro.obs.span import PointEvent, SpanRecorder
+from repro.sim.engine import Simulator
+
+pytestmark = pytest.mark.obs
+
+
+def test_trace_entry_is_a_point_event():
+    entry = TraceEntry("p2", 17, 122_000)
+    assert isinstance(entry, PointEvent)
+    assert entry.quantized_ns == entry.t_ns == 122_000
+    assert (entry.point, entry.packet_no) == ("p2", 17)
+
+
+def test_pseudo_driver_mirrors_into_recorder():
+    sim = Simulator()
+    rec = SpanRecorder(sim)
+    tracer = PseudoDriverTracer(sim, recorder=rec)
+    probe = tracer.probe("p2")
+    sim.schedule(calibration.RTPC_CLOCK_GRANULARITY + 5, lambda: probe(9))
+    sim.run()
+    assert probe(9) == PROBE_INTRUSION
+    # Both the instrument's own entries and the shared timeline quantize
+    # identically to the 122 us clock.
+    assert [e.quantized_ns for e in tracer.entries] == [p.t_ns for p in rec.points]
+    assert rec.points[0].point == "p2" and rec.points[0].packet_no == 9
+
+
+def test_pseudo_driver_without_recorder_unchanged():
+    sim = Simulator()
+    tracer = PseudoDriverTracer(sim)
+    tracer.probe("p3")(4)
+    assert len(tracer.entries) == 1
+
+
+def test_tap_mirrors_captures_as_instants():
+    from repro.experiments.tracing import run_traced
+    from repro.measure.tap import TapMonitor
+    from repro.sim.units import MS
+
+    # Ride a real run: attach a TAP with the run's recorder to the ring
+    # before traffic starts, then check instants landed on its track.
+    from repro.core.session import CTMSSession
+    from repro.experiments.chaos import profile_host_config
+    from repro.experiments.testbed import Testbed
+
+    bed = Testbed(seed=2)
+    rec = SpanRecorder(bed.sim)
+    tap = TapMonitor(bed.sim, bed.ring, recorder=rec)
+    tx = bed.add_host(profile_host_config("ctmsp", "transmitter"))
+    rx = bed.add_host(profile_host_config("ctmsp", "receiver"))
+    session = CTMSSession(tx.kernel, rx.kernel)
+    session.establish()
+    bed.run(200 * MS)
+    assert tap.records, "tap captured nothing"
+    instants = [i for i in rec.instants if i.track == "tap/capture"]
+    assert len(instants) == len(tap.records)
+    assert instants[0].t_ns == tap.records[0].timestamp_ns

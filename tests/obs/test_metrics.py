@@ -1,0 +1,75 @@
+"""MetricsRegistry: instrument semantics and deterministic rendering."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.units import US
+
+pytestmark = pytest.mark.obs
+
+
+def test_counter_get_or_create_and_monotonic():
+    reg = MetricsRegistry()
+    c = reg.counter("a.b")
+    c.incr()
+    c.incr(4)
+    assert reg.counter("a.b") is c
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.incr(-1)
+
+
+def test_gauge_envelope():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth", unit="frames")
+    for v in (3, 1, 7):
+        g.set(v)
+    assert (g.value, g.min_value, g.max_value, g.samples) == (7, 1, 7, 3)
+
+
+def test_histogram_reuses_paper_histogram_type():
+    from repro.measure.histogram import Histogram
+
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", unit="ns", bin_width=10 * US)
+    for v in (100 * US, 200 * US, 300 * US):
+        h.record(v)
+    assert isinstance(h.histogram, Histogram)
+    summary = h.summary()
+    assert summary["count"] == 3
+    assert summary["mean"] == pytest.approx(200.0)  # scaled ns -> us
+    assert summary["min"] == pytest.approx(100.0)
+
+
+def test_empty_histogram_summary():
+    reg = MetricsRegistry()
+    assert reg.histogram("nothing").summary() == {"count": 0}
+
+
+def test_to_json_is_deterministic_and_sorted():
+    def build():
+        reg = MetricsRegistry()
+        reg.counter("z.last").incr(1)
+        reg.counter("a.first").incr(2)
+        reg.gauge("mid").set(3)
+        reg.histogram("h").record(50 * US)
+        return reg.to_json()
+
+    one, two = build(), build()
+    assert one == two
+    assert one.index('"a.first"') < one.index('"z.last"')
+
+
+def test_render_tables_mentions_every_instrument():
+    reg = MetricsRegistry()
+    reg.counter("pkts").incr(9)
+    reg.gauge("depth").set(2)
+    reg.histogram("lat").record(120 * US)
+    text = reg.render_tables()
+    for name in ("pkts", "depth", "lat"):
+        assert name in text
+    assert "counters" in text and "gauges" in text and "histograms" in text
+
+
+def test_render_tables_empty_registry():
+    assert "no instruments" in MetricsRegistry().render_tables()

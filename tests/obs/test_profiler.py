@@ -1,0 +1,66 @@
+"""Simulator(profile=True): host-CPU attribution without model impact."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+pytestmark = pytest.mark.obs
+
+
+def drive(sim: Simulator) -> None:
+    def tick():
+        if sim.now < 1000:
+            sim.schedule(100, tick)
+
+    sim.schedule(0, tick)
+    sim.run()
+
+
+def test_profile_attributes_time_to_keys():
+    sim = Simulator(profile=True)
+    drive(sim)
+    assert sim.profile_ns, "no profile data collected"
+    assert sum(sim.profile_calls.values()) == 11
+    key = next(iter(sim.profile_calls))
+    assert "tick" in key
+    assert all(ns >= 0 for ns in sim.profile_ns.values())
+
+
+def test_profile_off_by_default():
+    sim = Simulator()
+    drive(sim)
+    assert sim.profile_ns == {} and sim.profile_calls == {}
+
+
+def test_profile_does_not_change_simulated_results():
+    def run(profile: bool):
+        sim = Simulator(profile=profile, record_trace=True)
+        drive(sim)
+        return sim.now, sim._seq, sim.trace
+
+    assert run(False) == run(True)
+
+
+def test_profile_report_renders():
+    sim = Simulator(profile=True)
+    drive(sim)
+    report = sim.profile_report(top=5)
+    assert "calls" in report and "tick" in report
+
+
+def test_profile_report_without_data():
+    assert "no profile data" in Simulator().profile_report()
+
+
+def test_profile_key_uses_owner_name():
+    sim = Simulator(profile=True)
+
+    class Driver:
+        name = "tx-driver"
+
+        def step(self):
+            pass
+
+    sim.schedule(0, Driver().step)
+    sim.run()
+    assert any("tx-driver" in key for key in sim.profile_ns)
