@@ -2,7 +2,7 @@ PYTHON ?= python
 
 export PYTHONPATH := src
 
-.PHONY: test lint chaos bench examples trace-demo
+.PHONY: test lint chaos chaos-par bench bench-fleet examples trace-demo
 
 # Static analysis first: a determinism/layering violation fails fast,
 # before the (slower) simulation suites run.
@@ -20,8 +20,17 @@ lint:
 chaos:
 	$(PYTHON) -m repro chaos --smoke
 
+# The supervised parallel fleet: 4 seeds sharded over 4 workers, results
+# journalled under .fleet/ (resume a killed run with --resume).
+chaos-par:
+	$(PYTHON) -m repro chaos --jobs 4 --seeds 4 --seconds 2 --intensities 1.0
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Fleet scaling benchmark: wall-clock jobs=1 vs jobs=4 (writes BENCH_fleet.json).
+bench-fleet:
+	$(PYTHON) benchmarks/fleet_bench.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) "$$f" || exit 1; done

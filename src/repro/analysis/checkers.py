@@ -17,6 +17,7 @@ from typing import Optional
 from repro.analysis.findings import Finding
 from repro.analysis.rules import (
     GLOBAL_RANDOM_FUNCTIONS,
+    PROCESS_MACHINERY_MODULES,
     RULES,
     WALL_CLOCK_DATETIME_METHODS,
     WALL_CLOCK_TIME_FUNCTIONS,
@@ -80,13 +81,19 @@ def _launders_to_int(node: ast.expr) -> bool:
 
 
 class DeterminismVisitor(ast.NodeVisitor):
-    """Single-pass checker for CTMS101/102/103/104/105/201."""
+    """Single-pass checker for CTMS101/102/103/104/105/201/303."""
 
-    def __init__(self, path: str, *, rng_home: bool = False) -> None:
+    def __init__(
+        self, path: str, *, rng_home: bool = False, process_home: bool = False
+    ) -> None:
         self.path = path
         #: True for repro/sim/rng.py, the one sanctioned home of raw
         #: ``random`` machinery (CTMS101/102/105 are off there).
         self.rng_home = rng_home
+        #: True for repro/experiments/fleet.py, the one sanctioned home of
+        #: process machinery and host clocks (CTMS103/303 are off there --
+        #: a supervisor cannot time out a hung worker on simulated time).
+        self.process_home = process_home
         self.findings: list[Finding] = []
         self._random_aliases: set[str] = set()
         self._time_aliases: set[str] = set()
@@ -97,6 +104,8 @@ class DeterminismVisitor(ast.NodeVisitor):
     # helpers
     # ------------------------------------------------------------------
     def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
+        if rule_id == "CTMS103" and self.process_home:
+            return  # the fleet supervisor lives on the host clock
         rule = RULES[rule_id]
         self.findings.append(
             Finding(
@@ -122,9 +131,23 @@ class DeterminismVisitor(ast.NodeVisitor):
                 self._time_aliases.add(local)
             elif alias.name == "datetime":
                 self._datetime_module_aliases.add(local)
+            self._check_process_machinery(alias.name.split(".")[0], node)
         self.generic_visit(node)
 
+    def _check_process_machinery(self, top_module: str, node: ast.stmt) -> None:
+        """CTMS303: process/thread machinery outside the fleet module."""
+        if self.process_home or top_module not in PROCESS_MACHINERY_MODULES:
+            return
+        self._emit(
+            "CTMS303",
+            node,
+            f"`{top_module}` imported outside the fleet supervisor "
+            "(repro/experiments/fleet.py)",
+        )
+
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is not None and node.level == 0:
+            self._check_process_machinery(node.module.split(".")[0], node)
         if node.module == "random" and not self.rng_home:
             names = ", ".join(a.name for a in node.names)
             self._emit(
@@ -244,10 +267,16 @@ class DeterminismVisitor(ast.NodeVisitor):
 
 
 def check_source(
-    source: str, path: str, *, rng_home: bool = False
+    source: str,
+    path: str,
+    *,
+    rng_home: bool = False,
+    process_home: bool = False,
 ) -> list[Finding]:
     """Run the determinism/units pass over one module's source."""
     tree = ast.parse(source, filename=path)
-    visitor = DeterminismVisitor(path, rng_home=rng_home)
+    visitor = DeterminismVisitor(
+        path, rng_home=rng_home, process_home=process_home
+    )
     visitor.visit(tree)
     return visitor.findings

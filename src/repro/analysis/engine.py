@@ -31,6 +31,10 @@ _SUPPRESS_RE = re.compile(r"ctms-lint:\s*disable=([A-Za-z0-9_,\s]+)")
 #: ``random`` machinery.
 _RNG_HOME_SUFFIX = "repro/sim/rng.py"
 
+#: ...and experiments/fleet.py is the sanctioned home of process machinery
+#: and host clocks (CTMS103/CTMS303 off there; see docs/FLEET.md).
+_PROCESS_HOME_SUFFIX = "repro/experiments/fleet.py"
+
 
 def suppressed_rules_by_line(source: str) -> dict[int, set[str]]:
     """Map line number -> rule IDs disabled by an inline comment there."""
@@ -104,7 +108,11 @@ def lint_source(source: str, path: str) -> list[Finding]:
     """All findings for one module's source text (suppressions applied)."""
     posix = path.replace("\\", "/")
     tree = ast.parse(source, filename=path)
-    visitor = DeterminismVisitor(path, rng_home=posix.endswith(_RNG_HOME_SUFFIX))
+    visitor = DeterminismVisitor(
+        path,
+        rng_home=posix.endswith(_RNG_HOME_SUFFIX),
+        process_home=posix.endswith(_PROCESS_HOME_SUFFIX),
+    )
     visitor.visit(tree)
     findings = visitor.findings + check_layering(tree, path)
     suppressions = suppressed_rules_by_line(source)

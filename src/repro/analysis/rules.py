@@ -92,6 +92,15 @@ RULES: dict[str, Rule] = {
             "(sim/hardware/ring/core types) but never drive "
             "drivers/experiments/faults",
         ),
+        Rule(
+            id="CTMS303",
+            name="fleet-confinement",
+            severity=ERROR,
+            summary="process machinery imported outside the fleet supervisor",
+            hint="multiprocessing/subprocess/threading/signal (and wall "
+            "clocks) belong only in repro/experiments/fleet.py -- keep "
+            "every other module on the simulated clock, single-process",
+        ),
     )
 }
 
@@ -187,3 +196,12 @@ WALL_CLOCK_TIME_FUNCTIONS: frozenset[str] = frozenset(
 
 #: Wall-clock classmethods of :mod:`datetime` types.
 WALL_CLOCK_DATETIME_METHODS: frozenset[str] = frozenset({"now", "utcnow", "today"})
+
+#: Top-level modules that spawn/steer processes or threads.  CTMS303
+#: confines their import (and, via the same home-module exemption, wall
+#: clocks) to ``repro/experiments/fleet.py`` -- the campaign supervisor is
+#: the single sanctioned bridge between the simulated clock domain and the
+#: host's.
+PROCESS_MACHINERY_MODULES: frozenset[str] = frozenset(
+    {"multiprocessing", "concurrent", "subprocess", "threading", "signal"}
+)

@@ -11,6 +11,8 @@
     python -m repro copies
     python -m repro quickstart
     python -m repro lint src/repro [--json] [--baseline lint-baseline.json]
+    python -m repro chaos --jobs 4 --seeds 8 [--resume]
+    python -m repro fleet status [--state-dir .fleet]
 """
 
 from __future__ import annotations
@@ -119,6 +121,14 @@ def _cmd_ablate(args) -> int:
     from repro.experiments.ablations import TABLE_HEADERS, run_matrix
     from repro.experiments.reporting import format_table
 
+    if args.jobs >= 1 or args.seeds > 1 or args.resume:
+        from repro.experiments.fleet import ablation_fleet_spec
+
+        spec = ablation_fleet_spec(
+            args.seconds * SEC,
+            seeds=range(args.seed, args.seed + args.seeds),
+        )
+        return _run_fleet_cli(spec, args)
     summary = run_matrix(args.seconds * SEC, args.seed)
     print(
         format_table(
@@ -133,6 +143,17 @@ def _cmd_ablate(args) -> int:
 def _cmd_chaos(args) -> int:
     from repro.experiments.chaos import run_campaign, run_smoke
 
+    if args.jobs >= 1 or args.seeds > 1 or args.resume:
+        from repro.experiments.fleet import chaos_fleet_spec
+
+        spec = chaos_fleet_spec(
+            seeds=range(args.seed, args.seed + args.seeds),
+            duration_ns=args.seconds * SEC,
+            intensities=(
+                tuple(args.intensities) if args.intensities else (0.5, 1.0, 2.0)
+            ),
+        )
+        return _run_fleet_cli(spec, args)
     if args.smoke:
         report = run_smoke(seed=args.seed)
     elif args.intensities:
@@ -145,6 +166,83 @@ def _cmd_chaos(args) -> int:
         report = run_campaign(seed=args.seed, duration_ns=args.seconds * SEC)
     print(report.render())
     return 0
+
+
+def _resume_command(args) -> str:
+    """The exact invocation that continues this campaign after a kill."""
+    parts = [
+        f"python -m repro {args.command}",
+        f"--jobs {max(1, args.jobs)}",
+        f"--seeds {args.seeds}",
+        f"--seed {args.seed}",
+        f"--seconds {args.seconds}",
+    ]
+    if getattr(args, "intensities", None):
+        parts.append(
+            "--intensities " + " ".join(f"{i:g}" for i in args.intensities)
+        )
+    if args.state_dir != ".fleet":
+        parts.append(f"--state-dir {args.state_dir}")
+    if args.point_timeout != 120.0:
+        parts.append(f"--point-timeout {args.point_timeout:g}")
+    parts.append("--resume")
+    return " ".join(parts)
+
+
+def _run_fleet_cli(spec, args) -> int:
+    """Shared fleet driver for campaign subcommands.
+
+    The merged report is the only thing written to stdout -- progress and
+    fleet counters go to stderr, so ``--jobs 1`` and ``--jobs 4`` stdout
+    stay byte-identical (the golden fleet test relies on this).
+    """
+    from repro.experiments.fleet import FleetInterrupted, run_fleet
+    from repro.obs import fleet_summary
+
+    resume_cmd = _resume_command(args)
+    try:
+        result = run_fleet(
+            spec,
+            jobs=max(1, args.jobs),
+            state_dir=args.state_dir,
+            resume=args.resume,
+            point_timeout_s=args.point_timeout,
+            resume_hint=resume_cmd,
+            log=lambda msg: print(f"fleet: {msg}", file=sys.stderr),
+        )
+        print(result.render())
+        print(fleet_summary(result.registry), file=sys.stderr)
+    except FleetInterrupted as intr:
+        print(
+            f"fleet: interrupted -- {intr.completed}/{intr.total} points "
+            f"safely journalled at {intr.journal}",
+            file=sys.stderr,
+        )
+        print(f"fleet: resume with: {intr.resume_hint}", file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        # An interrupt outside run_fleet's own windows (spec building,
+        # the final render) risks nothing -- every journalled point is
+        # already on disk; re-running with --resume just re-renders.
+        print(f"fleet: interrupted; resume with: {resume_cmd}", file=sys.stderr)
+        return 130
+    if not result.ok():
+        print(
+            f"fleet: {len(result.failures)} point(s) failed permanently; "
+            "see the FAILED POINTS section above",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    from repro.experiments.fleet import fleet_status
+
+    if args.action == "status":
+        print(fleet_status(args.state_dir))
+        return 0
+    return 2  # pragma: no cover - argparse restricts choices
 
 
 def _cmd_trace(args) -> int:
@@ -252,6 +350,7 @@ COMMANDS = {
     "ablate": (_cmd_ablate, "Section 5.3 ablation matrix"),
     "quickstart": (_cmd_quickstart, "Minimal two-machine CTMS stream"),
     "chaos": (_cmd_chaos, "Chaos campaign: stock vs CTMSP under fault plans"),
+    "fleet": (_cmd_fleet, "Fleet state: journalled campaign progress"),
     "trace": (_cmd_trace, "Export a Chrome-trace/Perfetto JSON of a traced run"),
     "metrics": (_cmd_metrics, "Per-layer metrics registry for one test case"),
     "lint": (_cmd_lint, "ctms-lint: determinism & layering static analysis"),
@@ -284,6 +383,18 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
                 metavar="PATH",
                 help="write current findings to PATH as a new baseline and exit 0",
+            )
+            continue
+        if name == "fleet":
+            p.add_argument(
+                "action",
+                choices=["status"],
+                help="status: progress of every journalled campaign",
+            )
+            p.add_argument(
+                "--state-dir",
+                default=".fleet",
+                help="fleet journal root (default .fleet)",
             )
             continue
         p.add_argument("--seed", type=int, default=1)
@@ -327,6 +438,37 @@ def build_parser() -> argparse.ArgumentParser:
                 type=float,
                 nargs="+",
                 help="intensity sweep values (default: 0.5 1.0 2.0)",
+            )
+        if name in {"chaos", "ablate"}:
+            p.add_argument(
+                "--jobs",
+                type=int,
+                default=0,
+                help="fleet mode: worker processes (1 = serial fleet; "
+                "0 = legacy single-seed run)",
+            )
+            p.add_argument(
+                "--seeds",
+                type=int,
+                default=1,
+                help="fleet mode: number of consecutive seeds starting "
+                "at --seed",
+            )
+            p.add_argument(
+                "--resume",
+                action="store_true",
+                help="continue a killed campaign from its journal",
+            )
+            p.add_argument(
+                "--state-dir",
+                default=".fleet",
+                help="fleet journal root (default .fleet)",
+            )
+            p.add_argument(
+                "--point-timeout",
+                type=float,
+                default=120.0,
+                help="seconds before the supervisor kills a hung worker",
             )
     return parser
 

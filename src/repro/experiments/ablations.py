@@ -78,6 +78,24 @@ def run_matrix(
     return entries
 
 
+def run_variant(
+    name: str, duration_ns: int = DEFAULT_DURATION, seed: int = 1
+) -> AblationEntry:
+    """Run a single named variant from primitive, picklable arguments.
+
+    The fleet runner's ablation workers call this: a campaign point
+    carries only ``(variant, duration_ns, seed)`` across the process
+    boundary and the worker rebuilds the scenario here, exactly as
+    :func:`run_matrix` would have.
+    """
+    variants = matrix_variants(duration_ns, seed)
+    if name not in variants:
+        raise ValueError(
+            f"unknown ablation variant {name!r}; known: {sorted(variants)}"
+        )
+    return run_one(name, variants[name])
+
+
 def run_one(name: str, scenario: Scenario) -> AblationEntry:
     """One variant with the attached compute-progress probe."""
     result = run_scenario(scenario)

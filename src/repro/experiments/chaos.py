@@ -85,6 +85,32 @@ def build_plan(seed: int, intensity: float, duration_ns: int) -> FaultPlan:
     )
 
 
+class ChaosPointError(RuntimeError):
+    """A chaos point died mid-run.
+
+    Raised by :func:`run_one` in place of whatever the testbed threw, so a
+    worker's failure always names the *replayable coordinates* of the point
+    -- ``(plan_hash, seed)`` plus profile and intensity -- rather than
+    surfacing a bare traceback with no way back to the run that caused it.
+    The original exception rides along as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        plan_hash: str,
+        seed: int,
+        profile: str,
+        intensity: float,
+    ) -> None:
+        super().__init__(message)
+        self.plan_hash = plan_hash
+        self.seed = seed
+        self.profile = profile
+        self.intensity = intensity
+
+
 @dataclass
 class ChaosRun:
     """One profile's fate under one plan."""
@@ -100,6 +126,11 @@ class ChaosRun:
     violated: list[str] = field(default_factory=list)
     #: Full violation records (first-violation snapshots).
     violations: list = field(default_factory=list)
+    #: Replay coordinates: the testbed seed and the plan's content hash.
+    seed: int = 0
+    plan_hash: str = ""
+    #: Calendar entries the run's simulator dispatched (perf trajectory).
+    events: int = 0
 
     def survived(self) -> bool:
         return self.established and not self.violated
@@ -110,6 +141,43 @@ class ChaosRun:
         if self.violated:
             return "VIOLATED: " + ", ".join(self.violated)
         return "survived"
+
+    def as_dict(self) -> dict:
+        """JSON-safe view for the fleet journal.
+
+        The full ``violations`` records (which hold snapshot objects) stay
+        behind; ``violated`` carries the invariant names, which is all any
+        report renders.
+        """
+        return {
+            "profile": self.profile,
+            "intensity": self.intensity,
+            "delivered": self.delivered,
+            "lost_packets": self.lost_packets,
+            "throughput_bytes_per_sec": self.throughput_bytes_per_sec,
+            "setup_attempts": self.setup_attempts,
+            "established": self.established,
+            "violated": list(self.violated),
+            "seed": self.seed,
+            "plan_hash": self.plan_hash,
+            "events": self.events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosRun":
+        return cls(
+            profile=data["profile"],
+            intensity=data["intensity"],
+            delivered=data["delivered"],
+            lost_packets=data["lost_packets"],
+            throughput_bytes_per_sec=data["throughput_bytes_per_sec"],
+            setup_attempts=data["setup_attempts"],
+            established=data["established"],
+            violated=list(data["violated"]),
+            seed=data.get("seed", 0),
+            plan_hash=data.get("plan_hash", ""),
+            events=data.get("events", 0),
+        )
 
 
 def run_one(
@@ -125,24 +193,43 @@ def run_one(
     ``flight_recorder`` (a :class:`repro.obs.flight.FlightRecorder`) rides
     on the testbed; the invariant monitor snapshots through it at the first
     violation of each invariant.  It never alters the run itself.
+
+    Any exception out of the testbed is re-raised as
+    :class:`ChaosPointError` carrying the point's replayable
+    ``(plan_hash, seed)`` coordinates, so a campaign worker's failure
+    report always says *which run* to replay.
     """
-    bed = Testbed(seed=seed)
-    bed.flight_recorder = flight_recorder
-    tx = bed.add_host(profile_host_config(profile, TX_HOST))
-    rx = bed.add_host(profile_host_config(profile, RX_HOST))
-    session = CTMSSession(tx.kernel, rx.kernel)
-    session.establish()
-    monitor = StreamInvariantMonitor(
-        bed,
-        session,
-        max_loss_fraction=SURVIVAL_MAX_LOSS_FRACTION,
-        max_interarrival_ns=SURVIVAL_MAX_INTERARRIVAL_NS,
-        min_throughput_bytes_per_sec=SURVIVAL_THROUGHPUT_BYTES_PER_SEC,
-    ).start()
-    FaultInjector(bed, plan).arm()
-    bed.run(duration_ns)
-    violations = monitor.finish()
-    run = ChaosRun(profile=profile, intensity=intensity)
+    plan_hash = plan.stable_hash()
+    try:
+        bed = Testbed(seed=seed)
+        bed.flight_recorder = flight_recorder
+        tx = bed.add_host(profile_host_config(profile, TX_HOST))
+        rx = bed.add_host(profile_host_config(profile, RX_HOST))
+        session = CTMSSession(tx.kernel, rx.kernel)
+        session.establish()
+        monitor = StreamInvariantMonitor(
+            bed,
+            session,
+            max_loss_fraction=SURVIVAL_MAX_LOSS_FRACTION,
+            max_interarrival_ns=SURVIVAL_MAX_INTERARRIVAL_NS,
+            min_throughput_bytes_per_sec=SURVIVAL_THROUGHPUT_BYTES_PER_SEC,
+        ).start()
+        FaultInjector(bed, plan).arm()
+        bed.run(duration_ns)
+        violations = monitor.finish()
+    except Exception as exc:
+        raise ChaosPointError(
+            f"chaos point (plan {plan_hash}, seed {seed}) failed: "
+            f"profile {profile}, intensity {intensity:.2f}: "
+            f"{type(exc).__name__}: {exc}",
+            plan_hash=plan_hash,
+            seed=seed,
+            profile=profile,
+            intensity=intensity,
+        ) from exc
+    run = ChaosRun(
+        profile=profile, intensity=intensity, seed=seed, plan_hash=plan_hash
+    )
     run.established = bool(
         session.established is not None
         and session.established.triggered
@@ -154,6 +241,7 @@ def run_one(
     run.throughput_bytes_per_sec = session.stats.throughput_bytes_per_sec()
     run.violations = violations
     run.violated = monitor.violated()
+    run.events = bed.sim.stats_events
     return run
 
 

@@ -49,6 +49,26 @@ def row(label: str, paper: str, measured: str) -> list[str]:
     return [label, paper, measured]
 
 
+def failed_points_section(records: list[dict]) -> str:
+    """The explicit casualty list a degraded campaign report carries.
+
+    A fleet campaign that lost points after exhausting retries must say
+    so -- loudly, with a replayable command per point -- rather than
+    silently rendering a smaller report.  Each record carries ``label``
+    (the point's coordinates), ``attempts``, ``error``, and ``replay``
+    (the exact CLI invocation that re-runs just that point).
+    """
+    lines = [f"FAILED POINTS ({len(records)}) -- completed campaign is "
+             "missing these runs:"]
+    for rec in records:
+        lines.append(
+            f"  {rec['label']}  after {rec['attempts']} attempt(s): "
+            f"{rec['error']}"
+        )
+        lines.append(f"    replay: {rec['replay']}")
+    return "\n".join(lines)
+
+
 def figure_5_2_report(h6: Histogram) -> str:
     """Test Case B, histogram 6 -- the bimodal transmit-path figure."""
     mean_main = 2600 * US

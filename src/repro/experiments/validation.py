@@ -39,6 +39,17 @@ class ValidationResult:
     def agrees(self) -> bool:
         return self.max_delivery_skew_ns <= AGREEMENT_TOLERANCE_NS
 
+    def as_dict(self) -> dict:
+        """JSON-safe view (fields plus the derived verdict) for journals."""
+        return {
+            "frames": self.frames,
+            "max_delivery_skew_ns": self.max_delivery_skew_ns,
+            "mean_delivery_skew_ns": self.mean_delivery_skew_ns,
+            "lazy_events_estimate": self.lazy_events_estimate,
+            "detailed_token_hops": self.detailed_token_hops,
+            "agrees": self.agrees,
+        }
+
 
 def random_plan(seed: int, n_frames: int = 60):
     """A mixed random workload over four stations."""

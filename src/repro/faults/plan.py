@@ -30,6 +30,8 @@ disk_slow              host    source disk serving reads late (seek storm)
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
@@ -289,6 +291,30 @@ class FaultPlan:
         lines = [f"FaultPlan ({len(self.events)} events)"]
         lines += [f"  {event.describe()}" for event in self.sorted_events()]
         return "\n".join(lines)
+
+    def stable_hash(self) -> str:
+        """A short content hash of the schedule (order-insensitive).
+
+        Two plans with the same events hash identically regardless of the
+        insertion order, so the hash names *what will happen to the
+        system*, not how the plan object was built.  Campaign journals key
+        results by this value: a result is reusable exactly when the plan
+        that produced it would injure the testbed identically.
+        """
+        canonical = json.dumps(
+            [
+                {
+                    "at_ns": e.at_ns,
+                    "kind": e.kind,
+                    "host": e.host,
+                    "params": {k: e.params[k] for k in sorted(e.params)},
+                }
+                for e in self.sorted_events()
+            ],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()[:12]
 
     # ------------------------------------------------------------------
     # seeded random generation

@@ -1,0 +1,104 @@
+"""Worker-level fault specs: chaos for the campaign fleet itself.
+
+The fault plans in :mod:`repro.faults.plan` wound the *simulated* system.
+This module extends the same discipline one level up: the parallel
+campaign runner (:mod:`repro.experiments.fleet`) is a supervisor of real
+worker *processes*, and a supervisor that has never watched its workers
+die is not known to tolerate it.  A :class:`WorkerFaultSpec` declares,
+inertly, how a worker should injure itself while holding a campaign
+point:
+
+=======  ====================================================================
+kind     models
+=======  ====================================================================
+crash    the worker SIGKILLs itself mid-point (OOM killer, segfault)
+hang     the worker stops making progress (deadlock, runaway simulation)
+fail     the point raises (a bug in the model surfaced by one seed)
+=======  ====================================================================
+
+Like :class:`~repro.faults.plan.FaultPlan`, the spec is pure data -- it
+carries no process machinery and schedules nothing itself.  The fleet
+supervisor ships it to workers, and the *worker-side application* (the
+actual SIGKILL / sleep / raise) lives in ``repro.experiments.fleet``, the
+one module the layering rules permit to touch processes and wall clocks
+(ctms-lint CTMS303).  ``max_attempt`` bounds the injury to the first
+attempts of a point so supervised retries are observably what heals it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+#: Every way a worker knows how to hurt itself.
+WORKER_FAULT_KINDS = ("crash", "hang", "fail")
+
+
+@dataclass(frozen=True)
+class WorkerFaultSpec:
+    """One declarative worker injury.
+
+    ``seeds``/``profiles`` restrict which campaign points trigger the
+    fault (``None`` matches every point); ``max_attempt`` fires the fault
+    only while ``attempt <= max_attempt``, so a supervisor with retries
+    eventually gets the point through -- set it very large to model a
+    permanently poisoned point and exercise graceful degradation instead.
+    """
+
+    kind: str
+    seeds: Optional[tuple[int, ...]] = None
+    profiles: Optional[tuple[str, ...]] = None
+    max_attempt: int = 1
+    #: How long a hung worker sleeps; far beyond any sane point timeout.
+    hang_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKER_FAULT_KINDS:
+            raise ValueError(
+                f"unknown worker fault kind {self.kind!r}; "
+                f"known: {WORKER_FAULT_KINDS}"
+            )
+        if self.max_attempt < 1:
+            raise ValueError("max_attempt must be >= 1")
+
+    def matches(self, seed: int, profile: str, attempt: int) -> bool:
+        """Should this fault fire for this (point, attempt)?"""
+        if attempt > self.max_attempt:
+            return False
+        if self.seeds is not None and seed not in self.seeds:
+            return False
+        if self.profiles is not None and profile not in self.profiles:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # wire format (specs cross the process boundary as plain dicts)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "seeds": list(self.seeds) if self.seeds is not None else None,
+            "profiles": (
+                list(self.profiles) if self.profiles is not None else None
+            ),
+            "max_attempt": self.max_attempt,
+            "hang_s": self.hang_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "WorkerFaultSpec":
+        return cls(
+            kind=data["kind"],
+            seeds=tuple(data["seeds"]) if data["seeds"] is not None else None,
+            profiles=(
+                tuple(data["profiles"])
+                if data["profiles"] is not None
+                else None
+            ),
+            max_attempt=data["max_attempt"],
+            hang_s=data["hang_s"],
+        )
+
+
+class WorkerFaultError(RuntimeError):
+    """The injected exception a ``fail``-kind worker fault raises."""

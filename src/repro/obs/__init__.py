@@ -10,6 +10,7 @@ calendar of an untraced one.
 """
 
 from repro.obs.export import chrome_trace, render_chrome_json, write_chrome_trace
+from repro.obs.fleetstats import FLEET_COUNTERS, fleet_counts, fleet_summary
 from repro.obs.flight import FlightRecorder, FlightSnapshot
 from repro.obs.instrument import DataPathTracer
 from repro.obs.metrics import (
@@ -44,6 +45,7 @@ __all__ = [
     "CATEGORY_RING",
     "Counter",
     "DataPathTracer",
+    "FLEET_COUNTERS",
     "FlightRecorder",
     "FlightSnapshot",
     "Gauge",
@@ -55,6 +57,8 @@ __all__ = [
     "SpanRecorder",
     "TraceContext",
     "chrome_trace",
+    "fleet_counts",
+    "fleet_summary",
     "packet_key",
     "render_chrome_json",
     "write_chrome_trace",

@@ -1,0 +1,84 @@
+"""Fleet telemetry: the instrument names the campaign supervisor fills.
+
+The parallel campaign runner (:mod:`repro.experiments.fleet`) owns a
+:class:`~repro.obs.metrics.MetricsRegistry` and counts everything its
+supervision loop does -- points dispatched, retried, timed out, failed;
+workers spawned, crashed, killed -- plus a histogram of worker process
+lifetimes.  This module gives those instruments their canonical dotted
+names and a one-stop summary renderer, so tests and the CLI interrogate
+fleet health by name instead of by string literal.
+
+Observe-only contract: like the rest of ``repro.obs`` this module never
+imports the fleet (or any actuator layer); the dependency points the other
+way.  Worker lifetimes are *host* nanoseconds -- the fleet is explicitly
+outside the simulated clock domain, and these instruments measure the
+machinery around the simulations, never the simulations themselves.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Points handed to a worker (every attempt counts once).
+POINTS_DISPATCHED = "fleet.points.dispatched"
+#: Points whose result reached the journal.
+POINTS_COMPLETED = "fleet.points.completed"
+#: Points found already journalled at startup (a resumed campaign).
+POINTS_RESUMED = "fleet.points.resumed"
+#: Re-dispatches after a crash, hang, or point exception.
+POINTS_RETRIED = "fleet.points.retried"
+#: Points whose worker exceeded the per-point deadline and was killed.
+POINTS_TIMED_OUT = "fleet.points.timed_out"
+#: Points that exhausted their retry budget (reported, not dropped).
+POINTS_FAILED = "fleet.points.failed"
+
+#: Worker processes started over the campaign's lifetime.
+WORKERS_SPAWNED = "fleet.workers.spawned"
+#: Workers that died without being asked to (crash faults, OOM, bugs).
+WORKERS_CRASHED = "fleet.workers.crashed"
+#: Workers the supervisor killed (hung past the point deadline).
+WORKERS_KILLED = "fleet.workers.killed"
+
+#: Host-clock lifetime of each worker process, spawn to exit.
+WORKER_LIFETIME_NS = "fleet.worker.lifetime_ns"
+
+#: Every fleet counter, in render order.
+FLEET_COUNTERS = (
+    POINTS_DISPATCHED,
+    POINTS_COMPLETED,
+    POINTS_RESUMED,
+    POINTS_RETRIED,
+    POINTS_TIMED_OUT,
+    POINTS_FAILED,
+    WORKERS_SPAWNED,
+    WORKERS_CRASHED,
+    WORKERS_KILLED,
+)
+
+
+def fleet_counts(registry: MetricsRegistry) -> dict[str, int]:
+    """Current value of every fleet counter (zero when never touched)."""
+    return {name: registry.counter(name).value for name in FLEET_COUNTERS}
+
+
+def fleet_summary(registry: MetricsRegistry) -> str:
+    """One line of fleet health for progress output and logs."""
+    c = fleet_counts(registry)
+    parts = [
+        f"dispatched {c[POINTS_DISPATCHED]}",
+        f"completed {c[POINTS_COMPLETED]}",
+    ]
+    if c[POINTS_RESUMED]:
+        parts.append(f"resumed {c[POINTS_RESUMED]}")
+    if c[POINTS_RETRIED]:
+        parts.append(f"retried {c[POINTS_RETRIED]}")
+    if c[POINTS_TIMED_OUT]:
+        parts.append(f"timed-out {c[POINTS_TIMED_OUT]}")
+    if c[POINTS_FAILED]:
+        parts.append(f"failed {c[POINTS_FAILED]}")
+    parts.append(
+        f"workers {c[WORKERS_SPAWNED]} spawned"
+        + (f"/{c[WORKERS_CRASHED]} crashed" if c[WORKERS_CRASHED] else "")
+        + (f"/{c[WORKERS_KILLED]} killed" if c[WORKERS_KILLED] else "")
+    )
+    return "fleet: " + ", ".join(parts)

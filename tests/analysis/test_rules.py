@@ -357,6 +357,59 @@ def test_experiments_may_import_anything():
 
 
 # ----------------------------------------------------------------------
+# CTMS303 -- process machinery confined to the fleet supervisor
+# ----------------------------------------------------------------------
+def test_multiprocessing_import_flagged():
+    findings = lint(
+        """
+        import multiprocessing
+        """
+    )
+    assert [f.rule for f in findings] == ["CTMS303"]
+    assert "fleet supervisor" in findings[0].message
+    assert "repro/experiments/fleet.py" in findings[0].hint
+
+
+def test_all_process_machinery_modules_flagged():
+    assert rule_ids(
+        """
+        import subprocess
+        import threading
+        import signal
+        from concurrent.futures import ProcessPoolExecutor
+        """
+    ) == ["CTMS303", "CTMS303", "CTMS303", "CTMS303"]
+
+
+def test_fleet_home_may_use_processes_and_wall_clock():
+    source = """
+    import multiprocessing
+    import signal
+    import time
+
+    def watchdog():
+        return time.monotonic_ns()
+    """
+    assert rule_ids(source, path="src/repro/experiments/fleet.py") == []
+    assert sorted(rule_ids(source, path="repro/experiments/chaos.py")) == [
+        "CTMS103",
+        "CTMS303",
+        "CTMS303",
+    ]
+
+
+def test_signal_suffix_module_is_not_confused():
+    # Only the *top-level* modules count; repro's own names that merely
+    # contain a machinery word must stay clean.
+    assert rule_ids(
+        """
+        from repro.core.signalling import Heartbeat
+        """,
+        path="repro/experiments/example.py",
+    ) == []
+
+
+# ----------------------------------------------------------------------
 # suppressions
 # ----------------------------------------------------------------------
 def test_inline_suppression_by_rule():

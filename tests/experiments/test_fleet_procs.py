@@ -1,0 +1,212 @@
+"""Fleet supervision tests that spawn (and kill) real worker processes.
+
+The golden property under test: ``jobs=1``, ``jobs=4``, a campaign whose
+workers crash or hang mid-point, and a SIGKILLed-then-resumed campaign all
+render byte-identical reports -- the merge is ordered by point key, never
+by completion order, so supervision is invisible in the output.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.fleet import (
+    Journal,
+    RetryPolicy,
+    chaos_fleet_spec,
+    journal_path,
+    run_fleet,
+)
+from repro.faults.workers import WorkerFaultSpec
+from repro.obs import fleet_counts, fleetstats
+from repro.sim.units import SEC
+
+pytestmark = pytest.mark.fleet
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+RETRY = RetryPolicy(max_attempts=3, backoff_s=0.01, backoff_cap_s=0.1)
+
+
+def spec():
+    """4 points: 2 seeds x 2 profiles at one intensity, 1 s runs."""
+    return chaos_fleet_spec([1, 2], duration_ns=1 * SEC, intensities=(1.0,))
+
+
+@pytest.fixture(scope="module")
+def serial_report(tmp_path_factory):
+    """The jobs=1 reference render every supervised run must reproduce."""
+    state = tmp_path_factory.mktemp("serial")
+    result = run_fleet(spec(), jobs=1, state_dir=state)
+    assert result.ok()
+    return result.render()
+
+
+def test_parallel_and_resumed_render_byte_identical(
+    serial_report, tmp_path
+):
+    parallel = run_fleet(spec(), jobs=4, state_dir=tmp_path / "par")
+    assert parallel.ok()
+    assert parallel.render() == serial_report
+
+    # Rewind the journal to header + first record (as a kill mid-campaign
+    # would leave it) and resume: same bytes again.
+    path = journal_path(spec(), tmp_path / "par")
+    lines = path.read_text().splitlines()[:2]
+    resumed_state = tmp_path / "resumed"
+    repath = journal_path(spec(), resumed_state)
+    repath.parent.mkdir(parents=True)
+    repath.write_text("\n".join(lines) + "\n")
+    resumed = run_fleet(
+        spec(), jobs=2, state_dir=resumed_state, resume=True
+    )
+    assert resumed.ok()
+    assert resumed.render() == serial_report
+    counts = fleet_counts(resumed.registry)
+    assert counts[fleetstats.POINTS_RESUMED] == 1
+    assert counts[fleetstats.POINTS_DISPATCHED] == 3
+
+
+def test_crashed_worker_costs_one_attempt(serial_report, tmp_path):
+    fault = WorkerFaultSpec(
+        kind="crash", seeds=(1,), profiles=("stock",), max_attempt=1
+    )
+    result = run_fleet(
+        spec(),
+        jobs=2,
+        state_dir=tmp_path,
+        retry=RETRY,
+        worker_faults=fault,
+    )
+    assert result.ok()
+    counts = fleet_counts(result.registry)
+    assert counts[fleetstats.WORKERS_CRASHED] == 1
+    assert counts[fleetstats.POINTS_RETRIED] == 1
+    assert result.render() == serial_report
+
+
+def test_hung_worker_is_killed_and_point_retried(serial_report, tmp_path):
+    fault = WorkerFaultSpec(
+        kind="hang",
+        seeds=(2,),
+        profiles=("ctmsp",),
+        max_attempt=1,
+        hang_s=120.0,
+    )
+    result = run_fleet(
+        spec(),
+        jobs=2,
+        state_dir=tmp_path,
+        retry=RETRY,
+        point_timeout_s=2.0,
+        worker_faults=fault,
+    )
+    assert result.ok()
+    counts = fleet_counts(result.registry)
+    assert counts[fleetstats.POINTS_TIMED_OUT] == 1
+    assert counts[fleetstats.WORKERS_KILLED] == 1
+    assert counts[fleetstats.POINTS_RETRIED] == 1
+    assert result.render() == serial_report
+
+
+# ----------------------------------------------------------------------
+# whole-supervisor kills, through the CLI
+# ----------------------------------------------------------------------
+def cli_command(state_dir, *extra, seeds=2):
+    return [
+        sys.executable, "-m", "repro", "chaos",
+        "--jobs", "2", "--seeds", str(seeds), "--seconds", "1",
+        "--intensities", "1.0", "--state-dir", str(state_dir), *extra,
+    ]
+
+
+def cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return env
+
+
+def wait_for_ok_record(path: Path, deadline_s: float = 60.0) -> None:
+    start = time.monotonic()
+    while time.monotonic() - start < deadline_s:
+        if path.is_file() and '"status":"ok"' in path.read_text():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"no journalled point within {deadline_s}s")
+
+
+def test_resume_after_sigkill_matches_serial(tmp_path):
+    state = tmp_path / "state"
+    journal = journal_path(spec(), state)
+    # Own process group so the SIGKILL takes the workers down too.
+    proc = subprocess.Popen(
+        cli_command(state),
+        cwd=REPO_ROOT,
+        env=cli_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+    try:
+        wait_for_ok_record(journal)
+    finally:
+        try:
+            os.killpg(proc.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass  # the campaign beat us to the kill; resume still works
+        proc.wait(timeout=30)
+
+    serial = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "chaos",
+            "--jobs", "1", "--seeds", "2", "--seconds", "1",
+            "--intensities", "1.0", "--state-dir", str(tmp_path / "ref"),
+        ],
+        cwd=REPO_ROOT, env=cli_env(), capture_output=True, timeout=300,
+    )
+    assert serial.returncode == 0
+    resumed = subprocess.run(
+        cli_command(state, "--resume"),
+        cwd=REPO_ROOT, env=cli_env(), capture_output=True, timeout=300,
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    assert resumed.stdout == serial.stdout
+    # Nothing journalled before the kill was recomputed.
+    _header, records = Journal.load(journal)
+    assert len(records) == len(spec().points)
+
+
+def test_sigint_flushes_journal_and_prints_resume_command(tmp_path):
+    # 8 points: enough runway that the SIGINT lands mid-campaign.
+    big = chaos_fleet_spec([1, 2, 3, 4], duration_ns=1 * SEC, intensities=(1.0,))
+    state = tmp_path / "state"
+    journal = journal_path(big, state)
+    proc = subprocess.Popen(
+        cli_command(state, seeds=4),
+        cwd=REPO_ROOT,
+        env=cli_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        start_new_session=True,
+    )
+    try:
+        wait_for_ok_record(journal)
+        os.killpg(proc.pid, signal.SIGINT)
+        _stdout, stderr = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+    assert proc.returncode == 130, stderr
+    text = stderr.decode()
+    assert "resume with: python -m repro chaos" in text
+    assert "--resume" in text
+    # The journal the message promises is really there and loadable.
+    header, records = Journal.load(journal)
+    assert header["campaign"] == big.campaign_id()
+    assert any(r.get("status") == "ok" for r in records.values())
