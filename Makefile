@@ -2,11 +2,12 @@ PYTHON ?= python
 
 export PYTHONPATH := src
 
-.PHONY: test lint chaos chaos-par bench bench-fleet examples trace-demo
+.PHONY: test lint lint-v2 chaos chaos-par bench bench-fleet bench-lint examples trace-demo
 
 # Static analysis first: a determinism/layering violation fails fast,
-# before the (slower) simulation suites run.
-test: lint
+# before the (slower) simulation suites run.  `make lint-v2` is a good
+# pre-push check: the summary cache makes a clean re-run near-instant.
+test: lint lint-v2
 	$(PYTHON) -m pytest -q
 
 # ctms-lint over the library sources (rules + suppression syntax are
@@ -14,6 +15,12 @@ test: lint
 # src/ -- new findings fail the build.
 lint:
 	$(PYTHON) -m repro lint src/repro --baseline lint-baseline.json
+
+# Whole-program pass: cross-module determinism inference (CTMS111/112),
+# integer-ns unit dataflow (CTMS211/212), unused-suppression audit
+# (CTMS001).  Incremental via .ctms-lint-cache.json.
+lint-v2:
+	$(PYTHON) -m repro lint src/repro --v2 --baseline lint-baseline.json
 
 # The chaos smoke campaign on its own (also part of the default test run,
 # via tests/experiments/test_chaos.py).
@@ -31,6 +38,11 @@ bench:
 # Fleet scaling benchmark: wall-clock jobs=1 vs jobs=4 (writes BENCH_fleet.json).
 bench-fleet:
 	$(PYTHON) benchmarks/fleet_bench.py
+
+# Lint engine benchmark: cold vs warm-cache wall-clock over src/
+# (writes BENCH_lint.json).
+bench-lint:
+	$(PYTHON) benchmarks/lint_bench.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) "$$f" || exit 1; done

@@ -24,17 +24,25 @@ from repro.analysis.engine import (
     run_lint,
 )
 from repro.analysis.findings import Finding
+from repro.analysis.graph import ModuleSummary, ProjectGraph, summarize_module
 from repro.analysis.rules import RULES, Rule
+from repro.analysis.sarif import render_sarif
+from repro.analysis.v2 import run_lint_v2
 
 __all__ = [
     "Finding",
     "LintReport",
+    "ModuleSummary",
+    "ProjectGraph",
     "RULES",
     "Rule",
     "apply_baseline",
     "iter_python_files",
     "lint_source",
     "load_baseline",
+    "render_sarif",
     "run_lint",
+    "run_lint_v2",
+    "summarize_module",
     "write_baseline",
 ]

@@ -37,6 +37,33 @@ _INT_RETURNING_HELPERS = frozenset(
 )
 
 
+def def_anchor_line(node: ast.AST) -> int:
+    """The ``def``/``class`` keyword's line, never a decorator's.
+
+    ``node.lineno`` of a decorated definition pointed at the first
+    decorator on older Pythons, and naive re-implementations (``min`` over
+    the decorator list) repeat that bug -- which silently breaks inline
+    suppressions, because the comment sits next to ``def`` while the
+    finding anchors lines above it.  Anchoring past the last decorator's
+    end is deterministic on every version.
+    """
+    line = getattr(node, "lineno", 1)
+    for deco in getattr(node, "decorator_list", []):
+        line = max(line, getattr(deco, "end_lineno", deco.lineno) + 1)
+    return line
+
+
+def call_anchor(node: ast.Call) -> ast.AST:
+    """What a call-site finding anchors to: the call's opening line.
+
+    For a multi-line call the argument expressions start on later lines;
+    anchoring findings at the argument while documenting "suppress on the
+    call's opening line" made suppressions silently ineffective.  All
+    call-site findings now anchor at the call node itself.
+    """
+    return node
+
+
 def _call_name(func: ast.expr) -> str:
     """The trailing identifier of a call target (``a.b.c()`` -> ``"c"``)."""
     if isinstance(func, ast.Attribute):
@@ -226,7 +253,7 @@ class DeterminismVisitor(ast.NodeVisitor):
             if _is_floaty(expr) and not _launders_to_int(expr):
                 self._emit(
                     "CTMS201",
-                    expr,
+                    call_anchor(node),
                     f"float-typed expression passed as {label} (sim time is integer ns)",
                 )
 

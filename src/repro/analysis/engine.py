@@ -66,6 +66,10 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     parse_errors: list[str] = field(default_factory=list)
     baseline: BaselineResult = field(default_factory=BaselineResult)
+    #: v2 runs only: files actually re-parsed (cache misses) vs served from
+    #: the incremental cache.  ``None`` on v1 runs (no cache in play).
+    reparsed: list[str] | None = None
+    cache_hits: int = 0
 
     @property
     def new(self) -> list[Finding]:
@@ -76,8 +80,13 @@ class LintReport:
         return self.baseline.baselined
 
     def ok(self) -> bool:
-        """True when nothing non-baselined was found and every file parsed."""
-        return not self.new and not self.parse_errors
+        """True when nothing non-baselined was found and every file parsed.
+
+        Stale baseline entries fail too: the ratchet only moves one way,
+        so an allowance no finding consumes must be deleted, not kept as
+        headroom for future debt.
+        """
+        return not self.new and not self.parse_errors and not self.baseline.stale
 
     def render_text(self) -> str:
         lines = [f.render() for f in self.new]
@@ -87,9 +96,12 @@ class LintReport:
         for file, rule in self.baseline.stale:
             lines.append(f"stale baseline entry: {file} {rule} (delete it)")
         verdict = "clean" if self.ok() else f"{len(self.new)} new finding(s)"
-        lines.append(
-            f"ctms-lint: {self.files_scanned} file(s) scanned, {verdict}"
-        )
+        summary = f"ctms-lint: {self.files_scanned} file(s) scanned, {verdict}"
+        if self.reparsed is not None:
+            summary += (
+                f" ({self.cache_hits} from cache, {len(self.reparsed)} re-analyzed)"
+            )
+        lines.append(summary)
         return "\n".join(lines)
 
     def render_json(self) -> str:
@@ -101,22 +113,50 @@ class LintReport:
             "parse_errors": self.parse_errors,
             "ok": self.ok(),
         }
+        if self.reparsed is not None:
+            payload["cache"] = {
+                "hits": self.cache_hits,
+                "reparsed": self.reparsed,
+            }
         return json.dumps(payload, indent=2)
+
+
+def is_rng_home(path: str) -> bool:
+    return path.replace("\\", "/").endswith(_RNG_HOME_SUFFIX)
+
+
+def is_process_home(path: str) -> bool:
+    return path.replace("\\", "/").endswith(_PROCESS_HOME_SUFFIX)
+
+
+def raw_findings(tree: ast.AST, path: str) -> list[Finding]:
+    """Per-file findings for one parsed module, before suppressions.
+
+    The v2 engine needs the pre-suppression list (CTMS001 reports inline
+    disables that no longer suppress anything), so suppression filtering
+    is separated out here.
+    """
+    visitor = DeterminismVisitor(
+        path,
+        rng_home=is_rng_home(path),
+        process_home=is_process_home(path),
+    )
+    visitor.visit(tree)
+    return visitor.findings + check_layering(tree, path)
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: dict[int, set[str]]
+) -> list[Finding]:
+    return sorted(f for f in findings if not _is_suppressed(f, suppressions))
 
 
 def lint_source(source: str, path: str) -> list[Finding]:
     """All findings for one module's source text (suppressions applied)."""
-    posix = path.replace("\\", "/")
     tree = ast.parse(source, filename=path)
-    visitor = DeterminismVisitor(
-        path,
-        rng_home=posix.endswith(_RNG_HOME_SUFFIX),
-        process_home=posix.endswith(_PROCESS_HOME_SUFFIX),
+    return apply_suppressions(
+        raw_findings(tree, path), suppressed_rules_by_line(source)
     )
-    visitor.visit(tree)
-    findings = visitor.findings + check_layering(tree, path)
-    suppressions = suppressed_rules_by_line(source)
-    return sorted(f for f in findings if not _is_suppressed(f, suppressions))
 
 
 def iter_python_files(paths: list[str | Path]) -> list[Path]:

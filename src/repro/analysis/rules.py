@@ -32,6 +32,14 @@ RULES: dict[str, Rule] = {
     rule.id: rule
     for rule in (
         Rule(
+            id="CTMS001",
+            name="unused-suppression",
+            severity=WARNING,
+            summary="inline `ctms-lint: disable=` comment no longer suppresses anything",
+            hint="the rule it names does not fire on this line any more; delete "
+            "the comment so suppression debt cannot accumulate silently",
+        ),
+        Rule(
             id="CTMS101",
             name="global-random",
             severity=ERROR,
@@ -68,12 +76,49 @@ RULES: dict[str, Rule] = {
             hint="import the module (for typing/seeded constructors) or use repro.sim.rng",
         ),
         Rule(
+            id="CTMS111",
+            name="transitively-nondeterministic",
+            severity=ERROR,
+            summary="call reaches a nondeterminism source through the call graph",
+            hint="the callee (or something it calls) reads a wall clock, the "
+            "global RNG, os.urandom, or the environment; route the value "
+            "through repro.sim.rng / Simulator.now, or suppress at the true "
+            "source if it is sanctioned",
+        ),
+        Rule(
+            id="CTMS112",
+            name="impure-function-in-sim-path",
+            severity=ERROR,
+            summary="function scheduled on the event calendar is (transitively) "
+            "nondeterministic",
+            hint="calendar callbacks must be pure w.r.t. the host: depend only "
+            "on Simulator.now and named seeded RNG streams",
+        ),
+        Rule(
             id="CTMS201",
             name="float-delay",
             severity=ERROR,
             summary="float-typed expression passed as a simulated delay/timeout",
             hint="all sim time is integer ns; build delays from units.NS/US/MS/SEC "
             "or convert with units.from_us/from_ms/from_sec",
+        ),
+        Rule(
+            id="CTMS211",
+            name="float-ns-contamination",
+            severity=ERROR,
+            summary="float-typed value crosses a function boundary into an "
+            "integer-ns slot",
+            hint="convert at the boundary with int()/round() or the "
+            "units.from_* helpers; keep every *_ns value an int",
+        ),
+        Rule(
+            id="CTMS212",
+            name="unit-mismatch",
+            severity=ERROR,
+            summary="values of incompatible dimensions mixed (ns vs seconds, "
+            "bytes vs bits, ...)",
+            hint="convert explicitly (units.from_sec, *8 for bytes->bits) so "
+            "the dimension change is visible at the use site",
         ),
         Rule(
             id="CTMS301",
@@ -205,3 +250,60 @@ WALL_CLOCK_DATETIME_METHODS: frozenset[str] = frozenset({"now", "utcnow", "today
 PROCESS_MACHINERY_MODULES: frozenset[str] = frozenset(
     {"multiprocessing", "concurrent", "subprocess", "threading", "signal"}
 )
+
+# ----------------------------------------------------------------------
+# Whole-program (v2) vocabulary
+# ----------------------------------------------------------------------
+
+#: Functions of :mod:`os` that read entropy or the process environment --
+#: taint sources for the interprocedural determinism inference (CTMS111/112)
+#: that the per-file pass has no rule for.
+OS_NONDETERMINISM_FUNCTIONS: frozenset[str] = frozenset(
+    {"urandom", "getenv", "getrandom", "getpid", "times"}
+)
+
+#: Path suffixes of the sanctioned-home modules.  They are *boundaries* for
+#: taint propagation: functions defined there are never reported impure, and
+#: calls into them do not propagate impurity to the caller (sim/rng.py wraps
+#: seeded streams; experiments/fleet.py is the one wall-clock bridge).
+SANCTIONED_HOME_SUFFIXES: tuple[str, ...] = (
+    "repro/sim/rng.py",
+    "repro/experiments/fleet.py",
+)
+
+#: Which per-file rule an inline suppression must name to also cleanse the
+#: matching taint *source* (an audited suppression is a sanction).  Sources
+#: with no per-file rule (urandom/env) are cleansed by disable=CTMS111.
+TAINT_SOURCE_RULES: dict[str, str] = {
+    "wall-clock": "CTMS103",
+    "global-random": "CTMS101",
+    "unseeded-random": "CTMS102",
+    "unordered-sched": "CTMS104",
+    "os-entropy": "CTMS111",
+    "env-read": "CTMS111",
+}
+
+#: Name-suffix conventions the unit dataflow seeds dimensions from.  Order
+#: matters: longer suffixes are matched first (``_bps`` before ``_s``).
+DIMENSION_SUFFIXES: tuple[tuple[str, str], ...] = (
+    ("bytes_per_sec", "Bps"),
+    ("bits_per_sec", "bps"),
+    ("_bps", "bps"),
+    ("_ns", "ns"),
+    ("_us", "us"),
+    ("_ms", "ms"),
+    ("_sec", "s"),
+    ("_secs", "s"),
+    ("_seconds", "s"),
+    ("_bytes", "bytes"),
+    ("nbytes", "bytes"),
+    ("_bits", "bits"),
+    ("_count", "count"),
+)
+
+#: Dimension families: mixing members of the *same* family (ns + s) is the
+#: classic silent-scaling bug CTMS212 exists for; mixing across families
+#: (bytes + ns) is flagged too when both sides are provably dimensioned.
+TIME_DIMENSIONS: frozenset[str] = frozenset({"ns", "us", "ms", "s"})
+DATA_DIMENSIONS: frozenset[str] = frozenset({"bytes", "bits"})
+RATE_DIMENSIONS: frozenset[str] = frozenset({"Bps", "bps"})

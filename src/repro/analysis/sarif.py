@@ -1,0 +1,74 @@
+"""SARIF 2.1.0 output for ctms-lint.
+
+SARIF is the interchange format CI annotators (GitHub code scanning,
+VS Code SARIF viewers) consume; emitting it makes the determinism gate's
+findings show up inline on review diffs instead of in a build log.  Only
+the core slice of the schema is produced: one run, the full rule
+catalog, and one result per *new* (non-baselined) finding.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintReport
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULES
+
+_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.file},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport) -> str:
+    """The report's new findings as a SARIF 2.1.0 JSON document."""
+    rules = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "help": {"text": rule.hint},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(rule.severity, "warning")
+            },
+        }
+        for rule in sorted(RULES.values(), key=lambda r: r.id)
+    ]
+    doc = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "ctms-lint",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": rules,
+                    }
+                },
+                "results": [_result(f) for f in report.new],
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)
+
+
+__all__ = ["render_sarif"]

@@ -11,6 +11,7 @@
     python -m repro copies
     python -m repro quickstart
     python -m repro lint src/repro [--json] [--baseline lint-baseline.json]
+    python -m repro lint src/repro --v2 [--changed] [--sarif out.sarif]
     python -m repro chaos --jobs 4 --seeds 8 [--resume]
     python -m repro fleet status [--state-dir .fleet]
 """
@@ -301,7 +302,13 @@ def _cmd_metrics(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from repro.analysis import load_baseline, run_lint, write_baseline
+    from repro.analysis import (
+        load_baseline,
+        render_sarif,
+        run_lint,
+        run_lint_v2,
+        write_baseline,
+    )
 
     try:
         baseline = load_baseline(args.baseline) if args.baseline else {}
@@ -309,7 +316,15 @@ def _cmd_lint(args) -> int:
         print(f"ctms-lint: cannot read baseline {args.baseline}: {exc}",
               file=sys.stderr)
         return 2
-    report = run_lint(args.paths, baseline)
+    if args.v2 or args.changed:
+        report = run_lint_v2(
+            args.paths,
+            baseline,
+            cache_path=None if args.no_cache else args.cache,
+            changed_only=args.changed,
+        )
+    else:
+        report = run_lint(args.paths, baseline)
     if args.write_baseline:
         write_baseline(report.findings, args.write_baseline)
         print(
@@ -317,6 +332,11 @@ def _cmd_lint(args) -> int:
             f"{args.write_baseline}"
         )
         return 0
+    if args.sarif:
+        from pathlib import Path
+
+        Path(args.sarif).write_text(render_sarif(report))
+        print(f"ctms-lint: wrote SARIF to {args.sarif}", file=sys.stderr)
     print(report.render_json() if args.json else report.render_text())
     return 0 if report.ok() else 1
 
@@ -383,6 +403,38 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
                 metavar="PATH",
                 help="write current findings to PATH as a new baseline and exit 0",
+            )
+            p.add_argument(
+                "--v2",
+                action="store_true",
+                help="whole-program analysis: call-graph taint (CTMS111/112), "
+                "cross-module unit dataflow (CTMS211/212), unused "
+                "suppressions (CTMS001), incremental cache",
+            )
+            p.add_argument(
+                "--changed",
+                action="store_true",
+                help="(implies --v2) only report the dirty frontier: files "
+                "whose content changed since the cache plus their importers",
+            )
+            p.add_argument(
+                "--sarif",
+                default=None,
+                metavar="PATH",
+                help="also write findings as SARIF 2.1.0 to PATH",
+            )
+            p.add_argument(
+                "--cache",
+                default=".ctms-lint-cache.json",
+                metavar="PATH",
+                help="incremental-analysis cache file (default "
+                ".ctms-lint-cache.json)",
+            )
+            p.add_argument(
+                "--no-cache",
+                action="store_true",
+                help="analyze every file from scratch (results are identical; "
+                "the cache only skips work)",
             )
             continue
         if name == "fleet":

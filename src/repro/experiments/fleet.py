@@ -51,7 +51,7 @@ from repro.experiments.reporting import failed_points_section, format_table
 from repro.faults.workers import WorkerFaultError, WorkerFaultSpec
 from repro.obs import fleetstats
 from repro.obs.metrics import MetricsRegistry
-from repro.sim.units import SEC
+from repro.sim.units import SEC, from_sec
 
 #: Journal schema version (bump on incompatible record changes).
 JOURNAL_VERSION = 1
@@ -920,7 +920,7 @@ def _run_supervised(
     ctx = _mp_context()
     result_q = ctx.Queue()
     fault_dict = worker_faults.as_dict() if worker_faults else None
-    timeout_ns = int(point_timeout_s * 1_000_000_000)
+    timeout_ns = from_sec(point_timeout_s)
 
     workers: list[_WorkerHandle] = []
     next_worker_id = 0

@@ -73,3 +73,60 @@ def test_write_then_load_round_trip(tmp_path):
 
 def test_load_missing_baseline_is_empty(tmp_path):
     assert load_baseline(tmp_path / "absent.json") == {}
+
+
+# ----------------------------------------------------------------------
+# v2 rules ride the same ratchet
+# ----------------------------------------------------------------------
+def test_v2_rule_ids_baseline_like_any_other():
+    baseline = {"src/repro/core/x.py": {"CTMS111": 1, "CTMS212": 1}}
+    result = apply_baseline(
+        [finding(rule="CTMS111"), finding(rule="CTMS212"), finding(rule="CTMS211")],
+        baseline,
+    )
+    assert [f.rule for f in result.new] == ["CTMS211"]
+    assert {f.rule for f in result.baselined} == {"CTMS111", "CTMS212"}
+    assert result.stale == []
+
+
+def test_write_baseline_then_fix_source_rejects_stale_entry(tmp_path, capsys):
+    """The full ratchet round-trip through the CLI.
+
+    ``--write-baseline`` records today's debt; fixing the source then
+    makes that allowance stale, and a stale allowance fails the gate --
+    debt may only be deleted, never kept as headroom.
+    """
+    from repro.cli import main
+
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    mod = pkg / "clock.py"
+    mod.write_text("import time\n\n\ndef stamp():\n    return time.time()\n")
+    baseline_path = tmp_path / "baseline.json"
+    cache = tmp_path / "cache.json"
+
+    def lint(*extra):
+        return main(
+            ["lint", str(tmp_path / "repro"), "--cache", str(cache), *extra]
+        )
+
+    # 1. Record the debt.
+    assert lint("--v2", "--write-baseline", str(baseline_path)) == 0
+    written = load_baseline(baseline_path)
+    assert list(written.values()) == [{"CTMS103": 1}]
+
+    # 2. Debt is allowed while it exists.
+    assert lint("--v2", "--baseline", str(baseline_path)) == 0
+
+    # 3. Fix the source: the allowance goes stale and the gate fails.
+    mod.write_text("def stamp():\n    return 42\n")
+    assert lint("--v2", "--baseline", str(baseline_path)) == 1
+    out = capsys.readouterr().out
+    assert "stale" in out
+
+    # 4. Delete the stale entry (re-ratchet) and the gate is green again.
+    assert lint("--v2", "--write-baseline", str(baseline_path)) == 0
+    assert load_baseline(baseline_path) == {}
+    assert lint("--v2", "--baseline", str(baseline_path)) == 0

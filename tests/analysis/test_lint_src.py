@@ -10,7 +10,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import load_baseline, run_lint
+from repro.analysis import load_baseline, run_lint, run_lint_v2
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -19,6 +19,19 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 def test_src_tree_is_lint_clean():
     baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
     report = run_lint([REPO_ROOT / "src" / "repro"], baseline)
+    assert report.files_scanned > 70
+    assert report.ok(), "\n" + report.render_text()
+
+
+@pytest.mark.lint
+def test_src_tree_is_lint_v2_clean():
+    # The whole-program pass: interprocedural taint, cross-module units,
+    # and the suppression audit must all come back clean over src/ too
+    # (cache disabled so the gate never trusts a stale summary).
+    baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
+    report = run_lint_v2(
+        [REPO_ROOT / "src" / "repro"], baseline, cache_path=None
+    )
     assert report.files_scanned > 70
     assert report.ok(), "\n" + report.render_text()
 

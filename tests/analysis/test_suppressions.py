@@ -1,0 +1,186 @@
+"""Suppression hygiene and finding anchors.
+
+CTMS001 flags inline disables that no longer match a finding; the
+anchor regressions pin where findings land for decorated defs and
+multi-line calls -- the two shapes where a suppression comment and its
+finding historically drifted onto different lines.  SARIF output is
+checked here too since CI annotators are the main anchor consumer.
+"""
+
+import json
+import textwrap
+
+from repro.analysis import lint_source, render_sarif, run_lint_v2
+from repro.analysis.checkers import def_anchor_line
+from repro.analysis.graph import ProjectGraph, summarize_module
+from repro.analysis.taint import check_taint
+from repro.analysis.v2 import check_unused_suppressions
+
+
+def v2_over(tmp_path, source: str, name: str = "mod.py"):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True, exist_ok=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / name).write_text(textwrap.dedent(source))
+    return run_lint_v2([tmp_path / "repro"], cache_path=None)
+
+
+# ----------------------------------------------------------------------
+# CTMS001 -- unused suppressions
+# ----------------------------------------------------------------------
+def test_unused_suppression_flagged(tmp_path):
+    report = v2_over(
+        tmp_path,
+        """
+        def clamp(x):
+            return max(0, x)  # ctms-lint: disable=CTMS103
+        """,
+    )
+    assert [f.rule for f in report.new] == ["CTMS001"]
+    assert report.new[0].severity == "warning"
+    assert "CTMS103" in report.new[0].message
+
+
+def test_used_suppression_is_not_flagged(tmp_path):
+    report = v2_over(
+        tmp_path,
+        """
+        import time
+
+
+        def stamp():
+            return time.time()  # ctms-lint: disable=CTMS103
+        """,
+    )
+    assert report.new == []
+
+
+def test_disable_all_counts_as_used_when_anything_fires(tmp_path):
+    report = v2_over(
+        tmp_path,
+        """
+        import time
+
+
+        def stamp():
+            return time.time()  # ctms-lint: disable=all
+        """,
+    )
+    assert report.new == []
+
+
+def test_unused_suppression_unit_level():
+    modules = [
+        summarize_module(
+            "x = 1  # ctms-lint: disable=CTMS201\n", "repro/core/m.py"
+        )
+    ]
+    findings = check_unused_suppressions(modules, [])
+    assert [(f.rule, f.line) for f in findings] == [("CTMS001", 1)]
+
+
+# ----------------------------------------------------------------------
+# anchor regressions
+# ----------------------------------------------------------------------
+def test_def_anchor_skips_decorators():
+    import ast
+
+    tree = ast.parse(
+        textwrap.dedent(
+            """
+            @property
+            @staticmethod
+            def f():
+                ...
+            """
+        )
+    )
+    assert def_anchor_line(tree.body[0]) == 4
+
+
+def test_ctms112_anchors_at_def_not_decorator():
+    g = ProjectGraph(
+        [
+            summarize_module(
+                textwrap.dedent(
+                    """
+                    import time
+                    import functools
+
+
+                    @functools.lru_cache(
+                        maxsize=None,
+                    )
+                    def on_timer():
+                        return time.time()
+
+
+                    def arm(sim):
+                        sim.schedule(1_000, on_timer)
+                    """
+                ),
+                "repro/core/deco.py",
+            )
+        ]
+    )
+    findings = [f for f in check_taint(g) if f.rule == "CTMS112"]
+    assert [f.line for f in findings] == [9]  # the `def`, not line 6
+
+
+def test_multi_line_call_anchors_at_open_line():
+    findings = lint_source(
+        textwrap.dedent(
+            """
+            def arm(sim, fn):
+                sim.schedule(
+                    1.5,
+                    fn,
+                )
+            """
+        ),
+        "repro/core/m.py",
+    )
+    assert [(f.rule, f.line) for f in findings] == [("CTMS201", 3)]
+
+
+def test_suppression_on_call_open_line_works_for_multi_line_call():
+    findings = lint_source(
+        textwrap.dedent(
+            """
+            def arm(sim, fn):
+                sim.schedule(  # ctms-lint: disable=CTMS201
+                    1.5,
+                    fn,
+                )
+            """
+        ),
+        "repro/core/m.py",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SARIF
+# ----------------------------------------------------------------------
+def test_sarif_document_shape(tmp_path):
+    report = v2_over(
+        tmp_path,
+        """
+        import time
+
+
+        def stamp():
+            return time.time()
+        """,
+    )
+    doc = json.loads(render_sarif(report))
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"CTMS001", "CTMS103", "CTMS111", "CTMS211", "CTMS212"} <= rule_ids
+    results = run["results"]
+    assert [r["ruleId"] for r in results] == ["CTMS103"]
+    region = results[0]["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 6
+    assert region["startColumn"] >= 1
