@@ -2,7 +2,7 @@ PYTHON ?= python
 
 export PYTHONPATH := src
 
-.PHONY: test lint lint-v2 chaos chaos-par bench bench-fleet bench-lint examples trace-demo
+.PHONY: test lint lint-v2 chaos chaos-par bench bench-check bench-micro bench-fleet bench-lint examples trace-demo
 
 # Static analysis first: a determinism/layering violation fails fast,
 # before the (slower) simulation suites run.  `make lint-v2` is a good
@@ -32,7 +32,18 @@ chaos:
 chaos-par:
 	$(PYTHON) -m repro chaos --jobs 4 --seeds 4 --seconds 2 --intensities 1.0
 
+# Perf trajectory: run the standard kernel/chaos/fleet workloads and
+# refresh the committed BENCH_kernel.json baseline.  `make bench-check`
+# reruns them and fails if throughput regressed past tolerance (the
+# default test run includes a fast --quick smoke of the same check).
 bench:
+	$(PYTHON) -m repro bench
+
+bench-check:
+	$(PYTHON) -m repro bench --check
+
+# pytest-benchmark micro-benchmarks (timer wheel, heap ops).
+bench-micro:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Fleet scaling benchmark: wall-clock jobs=1 vs jobs=4 (writes BENCH_fleet.json).
@@ -51,4 +62,4 @@ examples:
 # then a stock-vs-CTMSP side-by-side Chrome-trace export (trace.json).
 trace-demo:
 	$(PYTHON) examples/trace_viewer.py
-	$(PYTHON) -m repro trace --seed 7 --seconds 2 --out trace.json
+	$(PYTHON) -m repro trace --seed 7 --seconds 2 --out results/trace.json

@@ -10,6 +10,8 @@ Chrome trace in Perfetto and clicking the longest slice.
 Run:  python examples/trace_viewer.py
 """
 
+from pathlib import Path
+
 from repro.experiments.tracing import run_traced
 from repro.obs.export import write_chrome_trace
 from repro.sim.units import SEC
@@ -45,7 +47,8 @@ for span in spans:
         f"{span.duration_ns / 1000:>9.1f}  {lane}"
     )
 
-out = "trace_viewer.json"
+Path("results").mkdir(exist_ok=True)
+out = "results/trace_viewer.json"
 write_chrome_trace(out, rec)
 print()
 print(f"full trace written to {out} -- open with https://ui.perfetto.dev")

@@ -16,7 +16,12 @@ from pathlib import PurePosixPath
 from typing import Optional
 
 from repro.analysis.findings import Finding
-from repro.analysis.rules import LAYERING_FORBIDDEN, OBSERVE_ONLY_FORBIDDEN, RULES
+from repro.analysis.rules import (
+    LAYERING_FORBIDDEN,
+    OBSERVE_ONLY_FORBIDDEN,
+    OBSERVE_ONLY_MODULE_SUFFIXES,
+    RULES,
+)
 
 
 def package_of(path: str) -> Optional[str]:
@@ -57,6 +62,31 @@ def _imported_repro_packages(tree: ast.AST) -> list[tuple[str, ast.stmt]]:
     return found
 
 
+def _observe_only_scope(
+    package: str, path: str
+) -> tuple[Optional[frozenset[str]], str]:
+    """The CTMS302 forbidden set governing this module, and its label.
+
+    Package-wide rules (``measure``/``obs``) and per-module rules
+    (``OBSERVE_ONLY_MODULE_SUFFIXES``) compose by union, so a module named
+    in both stays observe-only even if either map loosens.
+    """
+    norm = path.replace("\\", "/")
+    module_forbidden: Optional[frozenset[str]] = None
+    label = f"`{package}`"
+    for suffix, forbidden in OBSERVE_ONLY_MODULE_SUFFIXES.items():
+        if norm.endswith(suffix):
+            module_forbidden = forbidden
+            label = f"`{suffix.removeprefix('repro/')}`"
+            break
+    package_forbidden = OBSERVE_ONLY_FORBIDDEN.get(package)
+    if package_forbidden is None and module_forbidden is None:
+        return None, label
+    return (package_forbidden or frozenset()) | (
+        module_forbidden or frozenset()
+    ), label
+
+
 def check_layering(tree: ast.AST, path: str) -> list[Finding]:
     """CTMS301/302 findings for one parsed module."""
     package = package_of(path)
@@ -64,11 +94,12 @@ def check_layering(tree: ast.AST, path: str) -> list[Finding]:
         return []
     findings: list[Finding] = []
     forbidden = LAYERING_FORBIDDEN.get(package, frozenset())
+    observe_only, observe_label = _observe_only_scope(package, path)
     for target, node in _imported_repro_packages(tree):
         if target == package:
             continue
-        if package in OBSERVE_ONLY_FORBIDDEN:
-            if target in OBSERVE_ONLY_FORBIDDEN[package]:
+        if observe_only is not None:
+            if target in observe_only:
                 rule = RULES["CTMS302"]
                 findings.append(
                     Finding(
@@ -77,7 +108,7 @@ def check_layering(tree: ast.AST, path: str) -> list[Finding]:
                         col=node.col_offset,
                         rule=rule.id,
                         severity=rule.severity,
-                        message=f"observe-only `{package}` imports `repro.{target}`",
+                        message=f"observe-only {observe_label} imports `repro.{target}`",
                         hint=rule.hint,
                     )
                 )

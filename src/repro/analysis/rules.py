@@ -141,10 +141,11 @@ RULES: dict[str, Rule] = {
             id="CTMS303",
             name="fleet-confinement",
             severity=ERROR,
-            summary="process machinery imported outside the fleet supervisor",
+            summary="process machinery imported outside a sanctioned home",
             hint="multiprocessing/subprocess/threading/signal (and wall "
-            "clocks) belong only in repro/experiments/fleet.py -- keep "
-            "every other module on the simulated clock, single-process",
+            "clocks) belong only in repro/experiments/fleet.py and "
+            "repro/bench/harness.py -- keep every other module on the "
+            "simulated clock, single-process",
         ),
     )
 }
@@ -191,6 +192,22 @@ OBS_FORBIDDEN: frozenset[str] = frozenset(
 OBSERVE_ONLY_FORBIDDEN: dict[str, frozenset[str]] = {
     "measure": MEASURE_FORBIDDEN,
     "obs": OBS_FORBIDDEN,
+}
+
+#: CTMS302's per-*module* forbidden-import map, for observe-only modules
+#: living inside otherwise-unconstrained packages.  ``experiments/rollup``
+#: aggregates journals other campaigns already wrote; the moment it could
+#: import an actuator it could also re-run points, and "the rollup changed
+#: the numbers" becomes a possibility the reader has to rule out.
+#: ``obs/telemetry`` is already covered by the ``obs`` package rule and is
+#: named here so the observe-only contract survives the module ever being
+#: moved out of that package.
+OBSERVE_ONLY_MODULE_SUFFIXES: dict[str, frozenset[str]] = {
+    "repro/experiments/rollup.py": frozenset(
+        {"core", "drivers", "workloads", "faults", "unix", "hardware",
+         "ring", "protocols"}
+    ),
+    "repro/obs/telemetry.py": OBS_FORBIDDEN,
 }
 
 #: Module-level functions of :mod:`random` that mutate/read the shared
@@ -244,9 +261,10 @@ WALL_CLOCK_DATETIME_METHODS: frozenset[str] = frozenset({"now", "utcnow", "today
 
 #: Top-level modules that spawn/steer processes or threads.  CTMS303
 #: confines their import (and, via the same home-module exemption, wall
-#: clocks) to ``repro/experiments/fleet.py`` -- the campaign supervisor is
-#: the single sanctioned bridge between the simulated clock domain and the
-#: host's.
+#: clocks) to the sanctioned homes: ``repro/experiments/fleet.py`` (the
+#: campaign supervisor bridges the simulated clock domain and the host's)
+#: and ``repro/bench/harness.py`` (benchmarking measures the host clock
+#: by design).
 PROCESS_MACHINERY_MODULES: frozenset[str] = frozenset(
     {"multiprocessing", "concurrent", "subprocess", "threading", "signal"}
 )
@@ -269,6 +287,7 @@ OS_NONDETERMINISM_FUNCTIONS: frozenset[str] = frozenset(
 SANCTIONED_HOME_SUFFIXES: tuple[str, ...] = (
     "repro/sim/rng.py",
     "repro/experiments/fleet.py",
+    "repro/bench/harness.py",
 )
 
 #: Which per-file rule an inline suppression must name to also cleanse the

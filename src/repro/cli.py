@@ -14,6 +14,9 @@
     python -m repro lint src/repro --v2 [--changed] [--sarif out.sarif]
     python -m repro chaos --jobs 4 --seeds 8 [--resume]
     python -m repro fleet status [--state-dir .fleet]
+    python -m repro fleet watch [--interval 1.0] [--campaign SUBSTR]
+    python -m repro fleet rollup [--json]
+    python -m repro bench [--check] [--quick] [--out BENCH_kernel.json]
 """
 
 from __future__ import annotations
@@ -213,6 +216,13 @@ def _run_fleet_cli(spec, args) -> int:
         )
         print(result.render())
         print(fleet_summary(result.registry), file=sys.stderr)
+        # Cross-journal delivered-quality rollup rides on stderr so fleet
+        # stdout stays byte-identical across jobs counts (golden-pinned).
+        from repro.experiments.rollup import load_campaigns, quality_summary_line
+
+        quality = quality_summary_line(load_campaigns(args.state_dir))
+        if quality:
+            print(f"fleet: {quality}", file=sys.stderr)
     except FleetInterrupted as intr:
         print(
             f"fleet: interrupted -- {intr.completed}/{intr.total} points "
@@ -238,12 +248,64 @@ def _run_fleet_cli(spec, args) -> int:
 
 
 def _cmd_fleet(args) -> int:
-    from repro.experiments.fleet import fleet_status
+    from repro.experiments.fleet import fleet_status, fleet_watch
 
     if args.action == "status":
         print(fleet_status(args.state_dir))
         return 0
+    if args.action == "watch":
+        progress = fleet_watch(
+            args.state_dir,
+            campaign=args.campaign,
+            interval_s=args.interval,
+            follow=not args.once,
+            # \r-overwrite one live line; argparse gave us a TTY-ish CLI.
+            emit=lambda line: print(f"\r\x1b[2K{line}", end="", flush=True),
+        )
+        print()
+        return 0 if progress is not None else 1
+    if args.action == "rollup":
+        from repro.experiments.rollup import rollup
+
+        report = rollup(args.state_dir)
+        print(report.to_json() if args.json else report.render())
+        return 0
     return 2  # pragma: no cover - argparse restricts choices
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import check_bench, load_bench, run_bench, write_bench
+
+    payload = run_bench(quick=args.quick)
+    if args.check:
+        try:
+            baseline = load_bench(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"bench: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        regressions = check_bench(payload, baseline, tolerance=args.tolerance)
+        for line in regressions:
+            print(f"bench: REGRESSION: {line}", file=sys.stderr)
+        verdict = "regressed" if regressions else "ok"
+        for name, workload in sorted(payload["workloads"].items()):
+            base = baseline.get("workloads", {}).get(name, {})
+            print(
+                f"{name:<16} {workload['events_per_sec']:>10} ev/s "
+                f"(baseline {base.get('events_per_sec', '?')}) "
+                f"{workload['wall_s']:.3f}s"
+            )
+        print(f"bench --check vs {args.baseline}: {verdict}")
+        return 1 if regressions else 0
+    write_bench(payload, args.out)
+    for name, workload in sorted(payload["workloads"].items()):
+        print(
+            f"{name:<16} {workload['events_per_sec']:>10} ev/s  "
+            f"{workload['packets_per_sec']:>8} pkt/s  "
+            f"{workload['wall_s']:.3f}s wall"
+        )
+    print(f"wrote {args.out}")
+    return 0
 
 
 def _cmd_trace(args) -> int:
@@ -370,7 +432,8 @@ COMMANDS = {
     "ablate": (_cmd_ablate, "Section 5.3 ablation matrix"),
     "quickstart": (_cmd_quickstart, "Minimal two-machine CTMS stream"),
     "chaos": (_cmd_chaos, "Chaos campaign: stock vs CTMSP under fault plans"),
-    "fleet": (_cmd_fleet, "Fleet state: journalled campaign progress"),
+    "fleet": (_cmd_fleet, "Fleet state: status / live watch / cross-journal rollup"),
+    "bench": (_cmd_bench, "Perf trajectory: standard workloads vs BENCH_kernel.json"),
     "trace": (_cmd_trace, "Export a Chrome-trace/Perfetto JSON of a traced run"),
     "metrics": (_cmd_metrics, "Per-layer metrics registry for one test case"),
     "lint": (_cmd_lint, "ctms-lint: determinism & layering static analysis"),
@@ -440,13 +503,67 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "fleet":
             p.add_argument(
                 "action",
-                choices=["status"],
-                help="status: progress of every journalled campaign",
+                choices=["status", "watch", "rollup"],
+                help="status: journalled campaign progress; watch: live "
+                "progress line tailing the journal; rollup: aggregate "
+                "every journal into survival/quality summaries",
             )
             p.add_argument(
                 "--state-dir",
                 default=".fleet",
                 help="fleet journal root (default .fleet)",
+            )
+            p.add_argument(
+                "--campaign",
+                default=None,
+                help="watch: select a campaign by directory-name substring "
+                "(default: most recently appended journal)",
+            )
+            p.add_argument(
+                "--interval",
+                type=float,
+                default=1.0,
+                help="watch: seconds between journal polls (default 1.0)",
+            )
+            p.add_argument(
+                "--once",
+                action="store_true",
+                help="watch: render one progress line and exit",
+            )
+            p.add_argument(
+                "--json",
+                action="store_true",
+                help="rollup: machine-readable aggregate",
+            )
+            continue
+        if name == "bench":
+            p.add_argument(
+                "--check",
+                action="store_true",
+                help="compare against the committed baseline; exit 1 on "
+                "regression",
+            )
+            p.add_argument(
+                "--baseline",
+                default="BENCH_kernel.json",
+                help="baseline artifact for --check (default BENCH_kernel.json)",
+            )
+            p.add_argument(
+                "--out",
+                default="BENCH_kernel.json",
+                help="artifact path to (re)write (default BENCH_kernel.json)",
+            )
+            p.add_argument(
+                "--tolerance",
+                type=float,
+                default=0.25,
+                help="--check fails when events/sec drops below this "
+                "fraction of baseline (default 0.25)",
+            )
+            p.add_argument(
+                "--quick",
+                action="store_true",
+                help="short workloads (the make-test smoke; noisier numbers)",
             )
             continue
         p.add_argument("--seed", type=int, default=1)

@@ -50,8 +50,9 @@ from typing import Any, Callable, Optional
 from repro.experiments.reporting import failed_points_section, format_table
 from repro.faults.workers import WorkerFaultError, WorkerFaultSpec
 from repro.obs import fleetstats
+from repro.obs import telemetry as obs_telemetry
 from repro.obs.metrics import MetricsRegistry
-from repro.sim.units import SEC, from_sec
+from repro.sim.units import SEC, from_sec, to_ms
 
 #: Journal schema version (bump on incompatible record changes).
 JOURNAL_VERSION = 1
@@ -357,20 +358,49 @@ class Journal:
 
     @staticmethod
     def load(path: Path) -> tuple[dict[str, Any], dict[str, dict[str, Any]]]:
-        """Header plus the last record per key (undecodable lines skipped)."""
+        """Header plus the last record per key (undecodable lines skipped).
+
+        Telemetry records are invisible here by construction: they carry
+        ``"telemetry"``/``"point"`` but never ``"key"``, so the merge reads
+        the same result set whether telemetry was on or off.
+        """
+        header, records, _telemetry = Journal.load_full(path)
+        return header, records
+
+    @staticmethod
+    def load_full(
+        path: Path,
+    ) -> tuple[dict[str, Any], dict[str, dict[str, Any]], list[dict[str, Any]]]:
+        """Header, last record per key, and telemetry records in order.
+
+        The loader is torn-tail tolerant line by line: a record mid-append
+        by a concurrent writer (or truncated by a SIGKILL) is skipped while
+        every complete record -- before *and* after it on a later read --
+        is returned.
+        """
         header: dict[str, Any] = {}
         records: dict[str, dict[str, Any]] = {}
+        telemetry: list[dict[str, Any]] = []
         with open(path) as fh:
             for i, line in enumerate(fh):
+                if not line.endswith("\n"):
+                    # A complete record is exactly one newline-terminated
+                    # line; a flushed-but-unfinished tail may parse as
+                    # valid JSON (e.g. a number) and must not count.
+                    continue
                 try:
                     obj = json.loads(line)
                 except json.JSONDecodeError:
                     continue  # torn tail from a mid-write kill
-                if i == 0 and "campaign" in obj and "key" not in obj:
+                if not isinstance(obj, dict):
+                    continue
+                if obs_telemetry.is_telemetry(obj):
+                    telemetry.append(obj)
+                elif i == 0 and "campaign" in obj and "key" not in obj:
                     header = obj
                 elif "key" in obj:
                     records[obj["key"]] = obj
-        return header, records
+        return header, records, telemetry
 
     # -- writes --------------------------------------------------------
     def record_ok(
@@ -401,6 +431,10 @@ class Journal:
             }
         )
 
+    def record_telemetry(self, obj: dict[str, Any]) -> None:
+        """Append one telemetry record (same flush+fsync as results)."""
+        self._append(obj)
+
     def _append(self, obj: dict[str, Any]) -> None:
         self._fh.write(json.dumps(obj, sort_keys=True, separators=(",", ":")))
         self._fh.write("\n")
@@ -414,6 +448,58 @@ class Journal:
 
 def journal_path(spec: FleetSpec, state_dir: str | Path) -> Path:
     return Path(state_dir) / f"campaign-{spec.campaign_id()}" / "journal.jsonl"
+
+
+class _TelemetryWriter:
+    """Stamps and journals telemetry records for one campaign.
+
+    The schema and all downstream arithmetic live in
+    :mod:`repro.obs.telemetry` (observe-only); this writer is the fleet's
+    side of the bargain -- it reads the host clock (sanctioned here by
+    CTMS303) and appends to the fsynced journal.  Disabled, it writes
+    nothing, and a golden test pins that the merged report cannot tell.
+    """
+
+    def __init__(self, journal: Journal, enabled: bool) -> None:
+        self._journal = journal
+        self.enabled = enabled
+
+    def emit(self, event: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        self._journal.record_telemetry(
+            obs_telemetry.record(event, ts=round(time.time(), 3), **fields)
+        )
+
+    def point_started(self, point: FleetPoint, attempt: int, worker: int) -> None:
+        self.emit(
+            obs_telemetry.EVENT_POINT_STARTED,
+            point=point.key,
+            seed=point.seed,
+            attempt=attempt,
+            worker=worker,
+        )
+
+    def point_finished(
+        self,
+        point: FleetPoint,
+        attempt: int,
+        worker: int,
+        status: str,
+        wall_ms: float,
+        result: Optional[dict[str, Any]] = None,
+    ) -> None:
+        events = (result or {}).get("events")
+        self.emit(
+            obs_telemetry.EVENT_POINT_FINISHED,
+            point=point.key,
+            seed=point.seed,
+            attempt=attempt,
+            worker=worker,
+            status=status,
+            wall_ms=round(wall_ms, 3),
+            events=events if isinstance(events, int) else None,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -728,6 +814,7 @@ def run_fleet(
     registry: Optional[MetricsRegistry] = None,
     resume_hint: Optional[str] = None,
     log: Optional[Callable[[str], None]] = None,
+    telemetry: bool = True,
 ) -> FleetResult:
     """Run (or resume) a campaign; returns the merge-ready result set.
 
@@ -736,6 +823,14 @@ def run_fleet(
     supervised worker pool.  Both paths share the journal, the retry
     policy, and the metrics registry, and both produce results exclusively
     as journalled dicts -- the merge cannot tell them apart.
+
+    ``telemetry=True`` (the default) interleaves structured telemetry
+    records (:mod:`repro.obs.telemetry`) with the point results in the
+    same journal: point started/finished/retried/killed with wall-clock
+    and sim-event counts, plus campaign start/finish markers carrying a
+    metrics snapshot.  Telemetry is observe-only -- the result loader
+    skips it, so the merged report is byte-identical either way (pinned
+    by a golden test) and ``--resume`` works across the mix.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -772,8 +867,24 @@ def run_fleet(
 
     pending = [p for p in spec.points if p.key not in results]
     failures: dict[str, dict[str, Any]] = {}
+    tw = _TelemetryWriter(journal, enabled=telemetry)
+    tw.emit(
+        obs_telemetry.EVENT_CAMPAIGN_STARTED,
+        campaign=spec.campaign_id(),
+        kind=spec.kind,
+        total_points=len(spec.points),
+        resumed=len(results),
+        jobs=jobs,
+    )
 
     def finish() -> FleetResult:
+        tw.emit(
+            obs_telemetry.EVENT_CAMPAIGN_FINISHED,
+            campaign=spec.campaign_id(),
+            completed=len(results),
+            failed=len(failures),
+            metrics=registry.as_dict(),
+        )
         journal.close()
         return FleetResult(
             spec=spec,
@@ -797,7 +908,7 @@ def run_fleet(
         try:
             _run_serial(
                 spec, pending, journal, results, failures, retry,
-                worker_faults, registry, emit,
+                worker_faults, registry, emit, tw,
             )
         except KeyboardInterrupt:
             raise interrupted() from None
@@ -806,7 +917,7 @@ def run_fleet(
     try:
         _run_supervised(
             spec, pending, journal, results, failures, retry,
-            point_timeout_s, worker_faults, registry, jobs, emit,
+            point_timeout_s, worker_faults, registry, jobs, emit, tw,
         )
     except KeyboardInterrupt:
         raise interrupted() from None
@@ -822,10 +933,19 @@ def _record_outcome(
     failures: dict[str, dict[str, Any]],
     registry: MetricsRegistry,
     emit: Callable[[str], None],
+    tw: _TelemetryWriter,
 ) -> bool:
     """Handle one failed attempt; True when the point should be retried."""
     if attempt < retry.max_attempts:
         registry.counter(fleetstats.POINTS_RETRIED).incr()
+        tw.emit(
+            obs_telemetry.EVENT_POINT_RETRIED,
+            point=point.key,
+            seed=point.seed,
+            attempt=attempt,
+            error=error,
+            backoff_s=retry.backoff_for(attempt),
+        )
         emit(
             f"{point.label}: attempt {attempt} failed ({error}); "
             f"retrying in {retry.backoff_for(attempt):.2f}s"
@@ -856,6 +976,7 @@ def _run_serial(
     worker_faults: Optional[WorkerFaultSpec],
     registry: MetricsRegistry,
     emit: Callable[[str], None],
+    tw: _TelemetryWriter,
 ) -> None:
     """The in-process reference path (also the no-multiprocessing fallback).
 
@@ -869,6 +990,8 @@ def _run_serial(
         while True:
             attempt += 1
             registry.counter(fleetstats.POINTS_DISPATCHED).incr()
+            tw.point_started(point, attempt, worker=0)
+            started_ns = time.monotonic_ns()
             try:
                 if (
                     worker_faults is not None
@@ -883,14 +1006,23 @@ def _run_serial(
                 raise
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
+                tw.point_finished(
+                    point, attempt, 0, "error",
+                    to_ms(time.monotonic_ns() - started_ns),
+                )
                 if _record_outcome(
                     point, attempt, error, retry, journal, failures,
-                    registry, emit,
+                    registry, emit, tw,
                 ):
                     time.sleep(retry.backoff_for(attempt))
                     continue
                 break
             else:
+                tw.point_finished(
+                    point, attempt, 0, "ok",
+                    to_ms(time.monotonic_ns() - started_ns),
+                    result,
+                )
                 journal.record_ok(point, attempt, result)
                 results[point.key] = {
                     "key": point.key,
@@ -915,6 +1047,7 @@ def _run_supervised(
     registry: MetricsRegistry,
     jobs: int,
     emit: Callable[[str], None],
+    tw: _TelemetryWriter,
 ) -> None:
     """The supervised worker pool."""
     ctx = _mp_context()
@@ -947,7 +1080,8 @@ def _run_supervised(
 
     def attempt_failed(point: FleetPoint, attempt: int, error: str) -> None:
         if _record_outcome(
-            point, attempt, error, retry, journal, failures, registry, emit
+            point, attempt, error, retry, journal, failures, registry, emit,
+            tw,
         ):
             ready_at = time.monotonic_ns() + int(
                 retry.backoff_for(attempt) * 1_000_000_000
@@ -981,6 +1115,7 @@ def _run_supervised(
                     point, attempt = ready.popleft()
                     worker.assign(point, attempt)
                     registry.counter(fleetstats.POINTS_DISPATCHED).incr()
+                    tw.point_started(point, attempt, worker=worker.worker_id)
             # Drain results.
             try:
                 kind_msg = result_q.get(timeout=0.05)
@@ -992,9 +1127,18 @@ def _run_supervised(
                     (w for w in workers if w.worker_id == worker_id), None
                 )
                 if worker is not None and worker.current is not None:
-                    point, attempt, _started = worker.current
+                    point, attempt, started = worker.current
                     if point.key == key:
                         worker.current = None
+                        wall_ms = to_ms(time.monotonic_ns() - started)
+                        tw.point_finished(
+                            point,
+                            attempt,
+                            worker.worker_id,
+                            "ok" if tag == "done" else "error",
+                            wall_ms,
+                            payload if tag == "done" else None,
+                        )
                         if tag == "done":
                             journal.record_ok(point, attempt, payload)
                             results[point.key] = {
@@ -1017,9 +1161,16 @@ def _run_supervised(
             for worker in list(workers):
                 if not worker.proc.is_alive():
                     if worker.current is not None:
-                        point, attempt, _started = worker.current
+                        point, attempt, started = worker.current
                         worker.current = None
                         registry.counter(fleetstats.WORKERS_CRASHED).incr()
+                        tw.point_finished(
+                            point,
+                            attempt,
+                            worker.worker_id,
+                            "error",
+                            to_ms(time.monotonic_ns() - started),
+                        )
                         attempt_failed(
                             point,
                             attempt,
@@ -1036,6 +1187,14 @@ def _run_supervised(
                         worker.current = None
                         registry.counter(fleetstats.WORKERS_KILLED).incr()
                         registry.counter(fleetstats.POINTS_TIMED_OUT).incr()
+                        tw.emit(
+                            obs_telemetry.EVENT_POINT_KILLED,
+                            point=point.key,
+                            seed=point.seed,
+                            attempt=attempt,
+                            worker=worker.worker_id,
+                            timeout_s=point_timeout_s,
+                        )
                         attempt_failed(
                             point,
                             attempt,
@@ -1058,19 +1217,31 @@ def _run_supervised(
 
 
 # ----------------------------------------------------------------------
-# status
+# status and live watch
 # ----------------------------------------------------------------------
-def fleet_status(state_dir: str | Path = ".fleet") -> str:
-    """Human-readable progress of every journalled campaign under a dir."""
-    root = Path(state_dir)
+def _campaign_journals(root: Path) -> list[Path]:
+    """Every campaign journal under a fleet state dir, name-sorted."""
     if not root.is_dir():
-        return f"no fleet state under {root} (nothing journalled yet)"
+        return []
+    return [
+        campaign_dir / "journal.jsonl"
+        for campaign_dir in sorted(root.iterdir())
+        if (campaign_dir / "journal.jsonl").is_file()
+    ]
+
+
+def fleet_status(state_dir: str | Path = ".fleet") -> str:
+    """Human-readable progress of every journalled campaign under a dir.
+
+    Everything is computed from journal record *timestamps* -- elapsed
+    wall time, completed/failed/pending counts, and points/sec -- so the
+    report is identical no matter when it is asked for (no live clock
+    read, no simulated clock anywhere near this path).
+    """
+    root = Path(state_dir)
     lines = []
-    for campaign_dir in sorted(root.iterdir()):
-        path = campaign_dir / "journal.jsonl"
-        if not path.is_file():
-            continue
-        header, records = Journal.load(path)
+    for path in _campaign_journals(root):
+        header, records, telemetry = Journal.load_full(path)
         total = header.get("total_points", "?")
         ok = sum(1 for r in records.values() if r.get("status") == "ok")
         failed = sum(
@@ -1079,10 +1250,74 @@ def fleet_status(state_dir: str | Path = ".fleet") -> str:
         remaining = (total - ok) if isinstance(total, int) else "?"
         state = "complete" if remaining == 0 else f"{remaining} remaining"
         lines.append(
-            f"{campaign_dir.name} ({header.get('kind', '?')}): "
+            f"{path.parent.name} ({header.get('kind', '?')}): "
             f"{ok}/{total} ok, {failed} failed, {state}"
         )
+        prog = obs_telemetry.progress(header, records, telemetry)
+        pending = (
+            max(0, total - ok - failed) if isinstance(total, int) else "?"
+        )
+        if prog.elapsed_s > 0:
+            lines.append(
+                f"  elapsed {prog.elapsed_s:.1f}s, completed {ok}, "
+                f"failed {failed}, pending {pending}, "
+                f"{prog.points_per_sec:.2f} points/s"
+            )
+        else:
+            lines.append(
+                f"  completed {ok}, failed {failed}, pending {pending} "
+                "(no telemetry timestamps journalled)"
+            )
         lines.append(f"  journal: {path}")
     if not lines:
         return f"no fleet state under {root} (nothing journalled yet)"
     return "\n".join(lines)
+
+
+def fleet_watch(
+    state_dir: str | Path = ".fleet",
+    campaign: Optional[str] = None,
+    interval_s: float = 1.0,
+    max_updates: Optional[int] = None,
+    emit: Optional[Callable[[str], None]] = None,
+    follow: bool = True,
+) -> Optional["obs_telemetry.CampaignProgress"]:
+    """Tail a campaign journal and render a live progress line.
+
+    Observe-only by construction: the watcher opens the journal read-only
+    from a separate process (or the same one) and never writes a byte --
+    the supervised run it observes is unaffected, and the torn-tail
+    loader returns every *complete* record even while the supervisor is
+    mid-append.  Returns the last computed progress (None when there is
+    no journal to watch).
+
+    ``campaign`` selects a journal by directory-name substring; default
+    is the most recently modified journal under ``state_dir``.  The loop
+    ends when the campaign finishes, ``max_updates`` renders have been
+    emitted, or ``follow=False`` (one shot).  Lives in ``fleet.py``
+    because tailing needs the host clock and a sleep (CTMS303).
+    """
+    emit = emit or print
+    root = Path(state_dir)
+    prog: Optional[obs_telemetry.CampaignProgress] = None
+    updates = 0
+    while True:
+        journals = _campaign_journals(root)
+        if campaign is not None:
+            journals = [p for p in journals if campaign in p.parent.name]
+        if not journals:
+            emit(f"no campaign journal under {root}")
+            return None
+        # Watch the journal most recently appended to (the live one).
+        path = max(journals, key=lambda p: p.stat().st_mtime)
+        header, records, telemetry = Journal.load_full(path)
+        prog = obs_telemetry.progress(
+            header, records, telemetry, now_ts=time.time()
+        )
+        emit(prog.render_line())
+        updates += 1
+        if prog.finished or not follow:
+            return prog
+        if max_updates is not None and updates >= max_updates:
+            return prog
+        time.sleep(interval_s)

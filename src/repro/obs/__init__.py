@@ -34,6 +34,12 @@ from repro.obs.span import (
     TraceContext,
     packet_key,
 )
+from repro.obs.telemetry import (
+    CampaignProgress,
+    WorkerSpotlight,
+    is_telemetry,
+    progress,
+)
 
 __all__ = [
     "CATEGORIES",
@@ -43,6 +49,7 @@ __all__ = [
     "CATEGORY_PLAYOUT",
     "CATEGORY_PROTOCOL",
     "CATEGORY_RING",
+    "CampaignProgress",
     "Counter",
     "DataPathTracer",
     "FLEET_COUNTERS",
@@ -56,10 +63,13 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "TraceContext",
+    "WorkerSpotlight",
     "chrome_trace",
     "fleet_counts",
     "fleet_summary",
+    "is_telemetry",
     "packet_key",
+    "progress",
     "render_chrome_json",
     "write_chrome_trace",
 ]

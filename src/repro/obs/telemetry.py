@@ -1,0 +1,287 @@
+"""Campaign telemetry: structured fleet-journal records and live progress.
+
+Between launch and final merge a thousand-seed campaign used to be a black
+box: the journal said which points had *finished*, nothing said how fast
+points were finishing, which worker was dragging, or when the campaign
+would end.  This module is the schema and the arithmetic for answering
+those questions from the journal alone.
+
+**Record schema.**  A telemetry record is one JSONL line in the same
+crash-safe journal the fleet already fsyncs, distinguished from point
+results by a ``"telemetry"`` field naming the event:
+
+========================  ==================================================
+event                     extra fields
+========================  ==================================================
+``campaign_started``      ``campaign``, ``kind``, ``total_points``
+``point_started``         ``point``, ``seed``, ``attempt``, ``worker``
+``point_finished``        ``point``, ``seed``, ``attempt``, ``worker``,
+                          ``status`` (``ok``/``error``), ``wall_ms``,
+                          ``events`` (sim calendar entries, when known)
+``point_retried``         ``point``, ``seed``, ``attempt``, ``error``,
+                          ``backoff_s``
+``point_killed``          ``point``, ``seed``, ``attempt``, ``worker``,
+                          ``timeout_s``
+``campaign_finished``     ``completed``, ``failed``, ``metrics`` (a
+                          MetricsRegistry snapshot)
+========================  ==================================================
+
+Every record carries ``ts`` -- a *host*-clock timestamp in seconds.  This
+module never reads that clock itself: the fleet supervisor (the one
+sanctioned wall-clock bridge, ctms-lint CTMS303) stamps records as it
+writes them, and everything here is pure arithmetic over the stamped
+values.  Progress, rate, and ETA are therefore computable from a journal
+alone -- by ``repro fleet status`` long after the campaign exited, or by
+``repro fleet watch`` while it runs.
+
+**Observe-only contract.**  Telemetry records are invisible to the merge:
+the result loader keys records by ``"key"``, which telemetry records never
+carry (they reference points via ``"point"``).  A golden test pins that a
+campaign's merged report is byte-identical with telemetry on or off.
+Like the rest of ``repro.obs``, this module imports no actuator layer
+(ctms-lint CTMS302 covers it by name).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+#: Field that marks (and names) a telemetry record inside the journal.
+TELEMETRY_FIELD = "telemetry"
+
+EVENT_CAMPAIGN_STARTED = "campaign_started"
+EVENT_POINT_STARTED = "point_started"
+EVENT_POINT_FINISHED = "point_finished"
+EVENT_POINT_RETRIED = "point_retried"
+EVENT_POINT_KILLED = "point_killed"
+EVENT_CAMPAIGN_FINISHED = "campaign_finished"
+
+#: Every event the schema knows, in lifecycle order.
+EVENTS = (
+    EVENT_CAMPAIGN_STARTED,
+    EVENT_POINT_STARTED,
+    EVENT_POINT_FINISHED,
+    EVENT_POINT_RETRIED,
+    EVENT_POINT_KILLED,
+    EVENT_CAMPAIGN_FINISHED,
+)
+
+#: Telemetry schema version (bump on incompatible record changes).
+TELEMETRY_VERSION = 1
+
+
+def record(event: str, ts: float, **fields: Any) -> dict[str, Any]:
+    """Build one telemetry record (the caller supplies the timestamp).
+
+    ``ts`` is host-clock seconds stamped by the fleet supervisor; this
+    module stays off the wall clock by construction.  The returned dict is
+    JSON-safe as long as ``fields`` are.
+    """
+    if event not in EVENTS:
+        raise ValueError(f"unknown telemetry event {event!r}; known: {EVENTS}")
+    if "key" in fields:
+        raise ValueError(
+            "telemetry records must not carry 'key' (reserved for point "
+            "results; reference points via 'point')"
+        )
+    return {TELEMETRY_FIELD: event, "v": TELEMETRY_VERSION, "ts": ts, **fields}
+
+
+def is_telemetry(obj: Any) -> bool:
+    """True when a decoded journal line is a telemetry record."""
+    return isinstance(obj, dict) and TELEMETRY_FIELD in obj
+
+
+def events_of(records: Iterable[dict[str, Any]], event: str) -> list[dict[str, Any]]:
+    """The telemetry records of one event kind, in journal order."""
+    return [r for r in records if r.get(TELEMETRY_FIELD) == event]
+
+
+# ----------------------------------------------------------------------
+# progress arithmetic
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerSpotlight:
+    """The slowest worker (or longest-running in-flight point) right now."""
+
+    worker: int
+    #: Why this worker is in the spotlight: "in-flight" (longest currently
+    #: running point) or "slowest" (worst mean wall-clock per finished point).
+    reason: str
+    point: str = ""
+    seed: Optional[int] = None
+    #: Seconds the in-flight point has been running, or the worker's mean
+    #: wall-clock seconds per finished point.
+    seconds: float = 0.0
+
+    def render(self) -> str:
+        if self.reason == "in-flight":
+            what = f"seed {self.seed}" if self.seed is not None else self.point
+            return f"worker {self.worker} on {what} for {self.seconds:.1f}s"
+        return f"worker {self.worker} slowest ({self.seconds:.1f}s/point)"
+
+
+@dataclass
+class CampaignProgress:
+    """One campaign's live (or final) state, computed from its journal."""
+
+    campaign: str
+    kind: str
+    total: int
+    done: int = 0
+    failed: int = 0
+    #: Points currently waiting out a retry backoff (seen a ``point_retried``
+    #: with no later terminal record).
+    retrying: int = 0
+    #: Points started but not yet finished/killed.
+    in_flight: int = 0
+    #: Seconds from the first record timestamp to the last (or to ``now``).
+    elapsed_s: float = 0.0
+    #: Completed points per second of elapsed time.
+    points_per_sec: float = 0.0
+    #: Estimated seconds until the campaign completes (None: unknowable).
+    eta_s: Optional[float] = None
+    spotlight: Optional[WorkerSpotlight] = None
+    #: Sum of sim calendar entries over finished points that reported one.
+    sim_events: int = 0
+    #: wall_ms of every finished point, journal order (drives spotlights
+    #: and per-point statistics downstream).
+    point_wall_ms: list[float] = field(default_factory=list)
+
+    @property
+    def pending(self) -> int:
+        return max(0, self.total - self.done - self.failed)
+
+    @property
+    def finished(self) -> bool:
+        return self.total > 0 and self.pending == 0
+
+    def render_line(self) -> str:
+        """The one-line live progress readout ``repro fleet watch`` prints."""
+        parts = [
+            f"{self.campaign} [{self.kind}]",
+            f"{self.done}/{self.total} done",
+        ]
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.retrying:
+            parts.append(f"{self.retrying} retrying")
+        if self.in_flight:
+            parts.append(f"{self.in_flight} in flight")
+        parts.append(f"{self.points_per_sec:.2f} pts/s")
+        if self.finished:
+            parts.append(f"finished in {self.elapsed_s:.1f}s")
+        elif self.eta_s is not None:
+            parts.append(f"ETA {self.eta_s:.0f}s")
+        else:
+            parts.append("ETA --")
+        if self.spotlight is not None and not self.finished:
+            parts.append(self.spotlight.render())
+        return "  ".join(parts)
+
+
+def progress(
+    header: dict[str, Any],
+    results: dict[str, dict[str, Any]],
+    telemetry: list[dict[str, Any]],
+    now_ts: Optional[float] = None,
+) -> CampaignProgress:
+    """Compute a campaign's progress from its journal's three ingredients.
+
+    ``header``/``results`` are what the fleet journal loader returns
+    (results keyed by point key, last writer wins); ``telemetry`` is the
+    decoded telemetry records in journal order.  ``now_ts`` extends the
+    elapsed window to "now" for a live watch; when omitted (a post-mortem
+    ``status`` call) the window ends at the last record timestamp, so the
+    computation is sim-clock-free *and* wall-clock-free.
+    """
+    total = int(header.get("total_points") or 0)
+    prog = CampaignProgress(
+        campaign=str(header.get("campaign", "?")),
+        kind=str(header.get("kind", "?")),
+        total=total,
+    )
+    for rec in results.values():
+        if rec.get("status") == "ok":
+            prog.done += 1
+        elif rec.get("status") == "failed":
+            prog.failed += 1
+
+    timestamps = [r["ts"] for r in telemetry if isinstance(r.get("ts"), (int, float))]
+    start_ts = min(timestamps) if timestamps else None
+    end_ts = max(timestamps) if timestamps else None
+    if now_ts is not None and start_ts is not None:
+        end_ts = max(now_ts, end_ts if end_ts is not None else now_ts)
+    if start_ts is not None and end_ts is not None:
+        prog.elapsed_s = max(0.0, end_ts - start_ts)
+    if prog.elapsed_s > 0:
+        prog.points_per_sec = prog.done / prog.elapsed_s
+    if prog.points_per_sec > 0:
+        prog.eta_s = prog.pending / prog.points_per_sec
+
+    # Point lifecycle: the latest event per point decides its live state.
+    latest: dict[str, dict[str, Any]] = {}
+    finished_points: set[str] = set()
+    per_worker_ms: dict[int, list[float]] = {}
+    for rec in telemetry:
+        event = rec.get(TELEMETRY_FIELD)
+        point = rec.get("point")
+        if point is None:
+            continue
+        latest[point] = rec
+        if event == EVENT_POINT_FINISHED:
+            finished_points.add(point)
+            wall_ms = rec.get("wall_ms")
+            if isinstance(wall_ms, (int, float)):
+                prog.point_wall_ms.append(float(wall_ms))
+                per_worker_ms.setdefault(int(rec.get("worker", 0)), []).append(
+                    float(wall_ms)
+                )
+            events = rec.get("events")
+            if isinstance(events, int):
+                prog.sim_events += events
+    in_flight: list[dict[str, Any]] = []
+    for point, rec in latest.items():
+        event = rec.get(TELEMETRY_FIELD)
+        if event == EVENT_POINT_STARTED:
+            in_flight.append(rec)
+        elif event == EVENT_POINT_RETRIED and point not in results:
+            prog.retrying += 1
+    prog.in_flight = len(in_flight)
+
+    prog.spotlight = _spotlight(in_flight, per_worker_ms, end_ts)
+    return prog
+
+
+def _spotlight(
+    in_flight: list[dict[str, Any]],
+    per_worker_ms: dict[int, list[float]],
+    end_ts: Optional[float],
+) -> Optional[WorkerSpotlight]:
+    """Pick the worker worth a second look.
+
+    Preference order: the longest-running in-flight point (that is where a
+    hang shows first), else the worker with the worst mean wall-clock per
+    finished point (the straggler slowing the whole pool).
+    """
+    if in_flight and end_ts is not None:
+        oldest = min(in_flight, key=lambda r: (r.get("ts", 0.0), str(r.get("point"))))
+        return WorkerSpotlight(
+            worker=int(oldest.get("worker", 0)),
+            reason="in-flight",
+            point=str(oldest.get("point", "")),
+            seed=oldest.get("seed"),
+            seconds=max(0.0, end_ts - float(oldest.get("ts", end_ts))),
+        )
+    if per_worker_ms:
+        worker, samples = max(
+            per_worker_ms.items(),
+            key=lambda kv: (sum(kv[1]) / len(kv[1]), kv[0]),
+        )
+        return WorkerSpotlight(
+            worker=worker,
+            reason="slowest",
+            seconds=sum(samples) / len(samples) / 1000.0,
+        )
+    return None

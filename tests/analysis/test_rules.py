@@ -461,3 +461,62 @@ def test_every_rule_has_hint_and_severity():
         assert rule.id.startswith("CTMS")
         assert rule.severity in ("error", "warning")
         assert rule.summary and rule.hint
+
+
+# ----------------------------------------------------------------------
+# CTMS302 -- per-module observe-only coverage (telemetry, rollup)
+# ----------------------------------------------------------------------
+def test_rollup_module_is_observe_only_by_name():
+    # experiments is otherwise unconstrained (it orchestrates), but the
+    # journal aggregator is held observe-only: importing an actuator or
+    # model layer from rollup.py is CTMS302, same source elsewhere in
+    # experiments is clean.
+    source = """
+    from repro.core.session import CTMSSession
+    from repro.faults.plan import FaultPlan
+    """
+    findings = lint(source, path="repro/experiments/rollup.py")
+    assert [f.rule for f in findings] == ["CTMS302", "CTMS302"]
+    assert "observe-only" in findings[0].message
+    assert "experiments/rollup.py" in findings[0].message
+    assert rule_ids(source, path="repro/experiments/chaos.py") == []
+
+
+def test_rollup_may_import_fleet_and_reporting():
+    # Same-package imports (the journal loader, the table renderer) are
+    # exactly what the rollup is for.
+    assert rule_ids(
+        """
+        from repro.experiments.fleet import Journal
+        from repro.experiments.reporting import format_table
+        """,
+        path="repro/experiments/rollup.py",
+    ) == []
+
+
+def test_telemetry_module_named_in_observe_only_map():
+    # obs/telemetry.py is already covered by the obs package rule; the
+    # per-module entry keeps the contract if the module ever moves.
+    findings = lint(
+        """
+        from repro.experiments.fleet import run_fleet
+        """,
+        path="repro/obs/telemetry.py",
+    )
+    assert [f.rule for f in findings] == ["CTMS302"]
+    assert "obs/telemetry.py" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# CTMS103/303 -- the bench harness is a sanctioned host-clock home
+# ----------------------------------------------------------------------
+def test_bench_harness_is_a_sanctioned_clock_home():
+    source = """
+    import time
+
+    def stopwatch():
+        return time.perf_counter()
+    """
+    assert rule_ids(source, path="src/repro/bench/harness.py") == []
+    # ...but only harness.py: the rest of the bench package stays clean.
+    assert rule_ids(source, path="src/repro/bench/__init__.py") == ["CTMS103"]

@@ -1,0 +1,187 @@
+"""Telemetry arithmetic: records, progress, ETA, spotlights.
+
+Everything here is pure -- synthetic headers/records/telemetry lists in,
+:class:`CampaignProgress` out.  No journal, no clock, no fleet: the
+module under test never reads time itself (the fleet stamps ``ts``), so
+its arithmetic is exactly testable with hand-picked timestamps.
+"""
+
+import pytest
+
+from repro.obs import telemetry
+from repro.obs.telemetry import (
+    EVENT_CAMPAIGN_FINISHED,
+    EVENT_CAMPAIGN_STARTED,
+    EVENT_POINT_FINISHED,
+    EVENT_POINT_RETRIED,
+    EVENT_POINT_STARTED,
+    events_of,
+    is_telemetry,
+    progress,
+    record,
+)
+
+
+# ----------------------------------------------------------------------
+# the record schema
+# ----------------------------------------------------------------------
+def test_record_carries_event_version_and_ts():
+    rec = record(EVENT_POINT_STARTED, ts=10.5, point="p:1", seed=1, worker=2)
+    assert rec["telemetry"] == EVENT_POINT_STARTED
+    assert rec["v"] == telemetry.TELEMETRY_VERSION
+    assert rec["ts"] == 10.5
+    assert rec["point"] == "p:1"
+    assert is_telemetry(rec)
+
+
+def test_record_rejects_unknown_event():
+    with pytest.raises(ValueError, match="unknown telemetry event"):
+        record("point_teleported", ts=0.0)
+
+
+def test_record_rejects_key_field():
+    # "key" names point results in the journal; a telemetry record carrying
+    # it would become visible to the merge and break the observe-only
+    # contract, so the schema forbids it outright.
+    with pytest.raises(ValueError, match="must not carry 'key'"):
+        record(EVENT_POINT_STARTED, ts=0.0, key="p:1")
+
+
+def test_is_telemetry_distinguishes_results_and_noise():
+    assert not is_telemetry({"key": "p:1", "status": "ok"})
+    assert not is_telemetry({"campaign": "abc", "total_points": 2})
+    assert not is_telemetry(42)
+    assert not is_telemetry(None)
+
+
+def test_events_of_preserves_journal_order():
+    recs = [
+        record(EVENT_POINT_STARTED, ts=1.0, point="b"),
+        record(EVENT_POINT_FINISHED, ts=2.0, point="b"),
+        record(EVENT_POINT_STARTED, ts=3.0, point="a"),
+    ]
+    assert [r["point"] for r in events_of(recs, EVENT_POINT_STARTED)] == ["b", "a"]
+
+
+# ----------------------------------------------------------------------
+# progress arithmetic
+# ----------------------------------------------------------------------
+HEADER = {"campaign": "cafe", "kind": "chaos", "total_points": 4}
+
+
+def _finished(point, ts, worker=0, wall_ms=100.0, events=None, seed=1):
+    return record(
+        EVENT_POINT_FINISHED,
+        ts=ts,
+        point=point,
+        seed=seed,
+        attempt=1,
+        worker=worker,
+        status="ok",
+        wall_ms=wall_ms,
+        events=events,
+    )
+
+
+def test_progress_counts_rate_and_eta():
+    results = {
+        "p:1": {"key": "p:1", "status": "ok"},
+        "p:2": {"key": "p:2", "status": "ok"},
+        "p:3": {"key": "p:3", "status": "failed"},
+    }
+    recs = [
+        record(EVENT_CAMPAIGN_STARTED, ts=100.0, campaign="cafe", kind="chaos"),
+        _finished("p:1", ts=101.0, events=500),
+        _finished("p:2", ts=102.0, events=700),
+    ]
+    prog = progress(HEADER, results, recs)
+    assert (prog.done, prog.failed, prog.pending) == (2, 1, 1)
+    assert prog.elapsed_s == pytest.approx(2.0)
+    assert prog.points_per_sec == pytest.approx(1.0)
+    assert prog.eta_s == pytest.approx(1.0)  # 1 pending at 1 pt/s
+    assert prog.sim_events == 1200
+    assert prog.point_wall_ms == [100.0, 100.0]
+    assert not prog.finished
+
+
+def test_progress_now_ts_extends_the_elapsed_window():
+    results = {"p:1": {"key": "p:1", "status": "ok"}}
+    recs = [
+        record(EVENT_CAMPAIGN_STARTED, ts=100.0, campaign="cafe", kind="chaos"),
+        _finished("p:1", ts=101.0),
+    ]
+    cold = progress(HEADER, results, recs)
+    live = progress(HEADER, results, recs, now_ts=105.0)
+    assert cold.elapsed_s == pytest.approx(1.0)
+    assert live.elapsed_s == pytest.approx(5.0)
+    assert live.points_per_sec < cold.points_per_sec
+
+
+def test_progress_finished_campaign():
+    results = {f"p:{i}": {"key": f"p:{i}", "status": "ok"} for i in range(4)}
+    recs = [
+        record(EVENT_CAMPAIGN_STARTED, ts=10.0, campaign="cafe", kind="chaos"),
+        *[_finished(f"p:{i}", ts=11.0 + i) for i in range(4)],
+        record(EVENT_CAMPAIGN_FINISHED, ts=15.0, completed=4, failed=0),
+    ]
+    prog = progress(HEADER, results, recs)
+    assert prog.finished
+    assert prog.pending == 0
+    assert "finished in 5.0s" in prog.render_line()
+
+
+def test_progress_without_telemetry_is_counts_only():
+    results = {"p:1": {"key": "p:1", "status": "ok"}}
+    prog = progress(HEADER, results, [])
+    assert prog.done == 1
+    assert prog.elapsed_s == 0.0
+    assert prog.points_per_sec == 0.0
+    assert prog.eta_s is None
+    assert "ETA --" in prog.render_line()
+
+
+def test_retrying_counts_points_awaiting_backoff():
+    recs = [
+        record(EVENT_POINT_RETRIED, ts=1.0, point="p:1", seed=1, attempt=1,
+               error="boom", backoff_s=0.5),
+    ]
+    prog = progress(HEADER, {}, recs)
+    assert prog.retrying == 1
+    # Once the point lands in results, it is no longer "retrying".
+    prog = progress(HEADER, {"p:1": {"key": "p:1", "status": "ok"}}, recs)
+    assert prog.retrying == 0
+
+
+# ----------------------------------------------------------------------
+# the spotlight
+# ----------------------------------------------------------------------
+def test_spotlight_prefers_longest_in_flight_point():
+    recs = [
+        record(EVENT_POINT_STARTED, ts=1.0, point="p:old", seed=7, worker=2),
+        record(EVENT_POINT_STARTED, ts=5.0, point="p:new", seed=8, worker=1),
+        _finished("p:done", ts=6.0, worker=1, wall_ms=4000.0),
+    ]
+    prog = progress(HEADER, {}, recs)
+    assert prog.in_flight == 2
+    spot = prog.spotlight
+    assert spot is not None and spot.reason == "in-flight"
+    assert (spot.worker, spot.point) == (2, "p:old")
+    assert spot.seconds == pytest.approx(5.0)  # 6.0 (last ts) - 1.0
+    assert "worker 2 on seed 7" in prog.render_line()
+
+
+def test_spotlight_falls_back_to_slowest_worker():
+    recs = [
+        _finished("p:1", ts=2.0, worker=0, wall_ms=100.0),
+        _finished("p:2", ts=3.0, worker=1, wall_ms=900.0),
+    ]
+    prog = progress(HEADER, {}, recs)
+    spot = prog.spotlight
+    assert spot is not None and spot.reason == "slowest"
+    assert spot.worker == 1
+    assert spot.seconds == pytest.approx(0.9)
+    assert "slowest" in spot.render()
+
+
+def test_spotlight_absent_without_telemetry():
+    assert progress(HEADER, {}, []).spotlight is None
