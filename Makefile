@@ -2,7 +2,7 @@ PYTHON ?= python
 
 export PYTHONPATH := src
 
-.PHONY: test lint lint-v2 chaos chaos-par bench bench-check bench-micro bench-fleet bench-lint examples trace-demo
+.PHONY: test lint lint-v2 chaos chaos-par bench bench-check bench-compare bench-micro bench-fleet bench-lint examples trace-demo
 
 # Static analysis first: a determinism/layering violation fails fast,
 # before the (slower) simulation suites run.  `make lint-v2` is a good
@@ -41,6 +41,15 @@ bench:
 
 bench-check:
 	$(PYTHON) -m repro bench --check
+
+# Trajectory between two committed artifacts, e.g. the baseline at an old
+# ref vs the working tree:
+#   git show v0:BENCH_kernel.json > /tmp/old.json
+#   make bench-compare OLD=/tmp/old.json NEW=BENCH_kernel.json
+OLD ?= /tmp/old.json
+NEW ?= BENCH_kernel.json
+bench-compare:
+	$(PYTHON) -m repro bench --compare $(OLD) $(NEW)
 
 # pytest-benchmark micro-benchmarks (timer wheel, heap ops).
 bench-micro:

@@ -16,6 +16,7 @@ between the simulated clock domain and the host's.
 from repro.bench.harness import (
     WORKLOADS,
     check_bench,
+    compare_bench,
     load_bench,
     run_bench,
     write_bench,
@@ -24,6 +25,7 @@ from repro.bench.harness import (
 __all__ = [
     "WORKLOADS",
     "check_bench",
+    "compare_bench",
     "load_bench",
     "run_bench",
     "write_bench",

@@ -23,6 +23,7 @@ into a simulated path.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import platform
@@ -150,11 +151,37 @@ def _usable_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def run_bench(quick: bool = False) -> dict[str, Any]:
+#: Samples per workload for the committed artifact.  Shared boxes jitter
+#: by 10-15% run to run; best-of-N with the collector paused during the
+#: timed region measures the kernel, not the host's mood.  --quick keeps
+#: a single sample (it is a smoke test, not a measurement).
+DEFAULT_REPEATS = 3
+
+
+def _best_sample(fn: Callable[[bool], dict[str, Any]], quick: bool,
+                 repeats: int) -> dict[str, Any]:
+    """Run ``fn`` ``repeats`` times, gc paused, and keep the fastest wall."""
+    best: dict[str, Any] | None = None
+    for _ in range(max(1, repeats)):
+        gc.collect()
+        gc.disable()
+        try:
+            sample = fn(quick)
+        finally:
+            gc.enable()
+        if best is None or sample["wall_s"] < best["wall_s"]:
+            best = sample
+    assert best is not None
+    return best
+
+
+def run_bench(quick: bool = False, repeats: int | None = None) -> dict[str, Any]:
     """Run every workload; return the BENCH_kernel.json payload."""
+    if repeats is None:
+        repeats = 1 if quick else DEFAULT_REPEATS
     workloads: dict[str, dict[str, Any]] = {}
     for name, fn in WORKLOADS.items():
-        sample = fn(quick)
+        sample = _best_sample(fn, quick, repeats)
         wall = max(sample["wall_s"], 1e-9)
         workloads[name] = {
             "wall_s": round(sample["wall_s"], 3),
@@ -169,6 +196,7 @@ def run_bench(quick: bool = False) -> dict[str, Any]:
         "v": BENCH_VERSION,
         "config": {
             "quick": quick,
+            "repeats": repeats,
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpus": _usable_cpus(),
@@ -234,3 +262,58 @@ def check_bench(
                 "itself changed; refresh BENCH_kernel.json (make bench)"
             )
     return messages
+
+
+def compare_bench(old: dict[str, Any], new: dict[str, Any]) -> list[str]:
+    """Human-readable trajectory lines between two bench artifacts.
+
+    Per-workload events/sec and wall-clock deltas, then the hotspot table
+    shift (percentage points of the profiled kernel run).  Purely
+    informational -- ``check_bench`` is the gate, this is the narrative
+    (``repro bench --compare OLD.json NEW.json`` / ``make bench-compare``).
+    """
+    lines: list[str] = []
+    old_w = old.get("workloads", {})
+    new_w = new.get("workloads", {})
+    for name in sorted(set(old_w) | set(new_w)):
+        if name not in old_w:
+            lines.append(f"{name:<16} (new workload) "
+                         f"{new_w[name].get('events_per_sec', 0):>10} ev/s")
+            continue
+        if name not in new_w:
+            lines.append(f"{name:<16} (dropped workload)")
+            continue
+        o, n = old_w[name], new_w[name]
+        o_rate = o.get("events_per_sec", 0) or 1
+        n_rate = n.get("events_per_sec", 0)
+        lines.append(
+            f"{name:<16} {o_rate:>10} -> {n_rate:>10} ev/s "
+            f"({(n_rate / o_rate - 1):+.1%})  wall "
+            f"{o.get('wall_s', 0):.3f}s -> {n.get('wall_s', 0):.3f}s"
+        )
+        if o.get("events") != n.get("events"):
+            lines.append(
+                f"{'':<16} note: sim events {o.get('events')} -> "
+                f"{n.get('events')} (workload shape changed)"
+            )
+    old_hot = {row["key"]: row for row in old.get("kernel_hotspots", [])}
+    new_hot = {row["key"]: row for row in new.get("kernel_hotspots", [])}
+    if old_hot or new_hot:
+        lines.append("kernel hotspots (% of profiled run):")
+        order = sorted(
+            set(old_hot) | set(new_hot),
+            key=lambda k: -(new_hot.get(k, old_hot.get(k))["pct"]),
+        )
+        for key in order:
+            o_pct = old_hot[key]["pct"] if key in old_hot else None
+            n_pct = new_hot[key]["pct"] if key in new_hot else None
+            if o_pct is None:
+                lines.append(f"  {key:<42} (new) {n_pct:>5.1f}%")
+            elif n_pct is None:
+                lines.append(f"  {key:<42} {o_pct:>5.1f}% -> (off the list)")
+            else:
+                lines.append(
+                    f"  {key:<42} {o_pct:>5.1f}% -> {n_pct:>5.1f}% "
+                    f"({n_pct - o_pct:+.1f})"
+                )
+    return lines

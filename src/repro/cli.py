@@ -274,9 +274,27 @@ def _cmd_fleet(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.bench import check_bench, load_bench, run_bench, write_bench
+    from repro.bench import (
+        check_bench,
+        compare_bench,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
 
-    payload = run_bench(quick=args.quick)
+    if args.compare:
+        old_path, new_path = args.compare
+        try:
+            old = load_bench(old_path)
+            new = load_bench(new_path)
+        except (OSError, ValueError) as exc:
+            print(f"bench: cannot read artifact: {exc}", file=sys.stderr)
+            return 2
+        for line in compare_bench(old, new):
+            print(line)
+        return 0
+
+    payload = run_bench(quick=args.quick, repeats=args.repeats)
     if args.check:
         try:
             baseline = load_bench(args.baseline)
@@ -544,6 +562,15 @@ def build_parser() -> argparse.ArgumentParser:
                 "regression",
             )
             p.add_argument(
+                "--compare",
+                nargs=2,
+                metavar=("OLD", "NEW"),
+                default=None,
+                help="print the trajectory between two bench artifacts "
+                "(per-workload events/sec and hotspot deltas); runs no "
+                "workloads",
+            )
+            p.add_argument(
                 "--baseline",
                 default="BENCH_kernel.json",
                 help="baseline artifact for --check (default BENCH_kernel.json)",
@@ -564,6 +591,13 @@ def build_parser() -> argparse.ArgumentParser:
                 "--quick",
                 action="store_true",
                 help="short workloads (the make-test smoke; noisier numbers)",
+            )
+            p.add_argument(
+                "--repeats",
+                type=int,
+                default=None,
+                help="samples per workload, best wall kept (default 3; "
+                "1 under --quick)",
             )
             continue
         p.add_argument("--seed", type=int, default=1)

@@ -35,7 +35,7 @@ CTMSP_HEADER_BYTES = 16
 CTMSP_RING_PRIORITY = 4
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrecomputedHeader:
     """A Token Ring header computed once for the life of the connection.
 
@@ -48,7 +48,7 @@ class PrecomputedHeader:
     dst: str
 
 
-@dataclass
+@dataclass(slots=True)
 class CTMSPPacket:
     """One CTMSP packet as the drivers see it."""
 

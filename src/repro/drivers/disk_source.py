@@ -144,7 +144,7 @@ class DiskStreamSource:
         self._buffered += self.config.read_chunk
         if not self._pacing and self._buffered >= self.config.readahead_low_water:
             self._pacing = True
-            self.sim.schedule(self.config.period, self._tick)
+            self.sim.schedule_fast(self.config.period, self._tick)
         if self._buffered < self.config.readahead_low_water:
             self._fill_readahead()
 
@@ -157,7 +157,7 @@ class DiskStreamSource:
         self.cpu.raise_irq(
             calibration.SPL_VCA, self._tick_handler, name="disk-stream"
         )
-        self.sim.schedule(self.config.period, self._tick)
+        self.sim.schedule_fast(self.config.period, self._tick)
 
     def _tick_handler(self) -> Generator:
         payload = self.config.packet_bytes - CTMSP_HEADER_BYTES

@@ -31,7 +31,7 @@ protocol path) so that every microsecond is charged to the right context.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
 from repro.hardware import calibration
@@ -40,7 +40,7 @@ from repro.hardware.memory import Region
 from repro.hardware.token_ring_adapter import TokenRingAdapter
 from repro.ring.frames import Frame
 from repro.sim.units import US
-from repro.unix.copy import cpu_copy, cpu_copy_at_rate
+from repro.unix.copy import cpu_copy_at_rate
 from repro.unix.kernel import Kernel
 from repro.unix.mbuf import MbufChain, MbufExhausted
 
@@ -58,6 +58,15 @@ ProbeFn = Callable[[Frame], Optional[int]]
 #: ride the same split point as CTMSP data but dispatch to the driver's
 #: ``control_input`` hook instead of the sink handles.
 CTMS_CONTROL_PROTOCOL = "ctms-ctl"
+
+#: Exec ops are immutable (only ``work_ns`` is read), so the fixed per-packet
+#: costs share module-level instances instead of allocating one per packet.
+_EXEC_TX_CODE = Exec(calibration.TR_DRIVER_TX_CODE)
+_EXEC_PTR_PASS = Exec(20 * US)
+_EXEC_TX_COMPLETE = Exec(30 * US)
+_EXEC_PURGE = Exec(40 * US)
+_EXEC_RX_CODE = Exec(calibration.TR_DRIVER_RX_CODE)
+_EXEC_RX_CLASSIFY = Exec(calibration.TR_DRIVER_RX_CLASSIFY_CODE)
 
 
 @dataclass
@@ -84,7 +93,7 @@ class TokenRingDriverConfig:
     purge_retransmit: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class _TxJob:
     chain: Optional[MbufChain]
     frame: Frame
@@ -156,6 +165,13 @@ class TokenRingDriver:
 
         self.probes: dict[str, list[ProbeFn]] = {}
 
+        # Memoized per-size Exec ops for the per-packet fixed costs (Exec is
+        # immutable, so frames of the same size share one instance): DMA-
+        # buffer copies by byte count, mbuf-allocation charges by chain size.
+        self._txcopy_execs: dict[int, Exec] = {}
+        self._rxcopy_execs: dict[int, Exec] = {}
+        self._alloc_execs: dict[int, Exec] = {}
+
         # --- statistics ---
         self.stats_tx_packets = 0
         self.stats_tx_queue_peak = 0
@@ -209,7 +225,8 @@ class TokenRingDriver:
         else:
             self._llc_q.append(job)
         depth = len(self._ctmsp_q) + len(self._llc_q)
-        self.stats_tx_queue_peak = max(self.stats_tx_queue_peak, depth)
+        if depth > self.stats_tx_queue_peak:
+            self.stats_tx_queue_peak = depth
         if not self._tx_busy:
             yield from self._start_next_tx()
         yield SetSpl(old)
@@ -227,12 +244,12 @@ class TokenRingDriver:
             return
         self._tx_busy = True
         self._tx_current = job.frame
-        yield Exec(calibration.TR_DRIVER_TX_CODE)
+        yield _EXEC_TX_CODE
         if job.chain is None:
             # Pointer-passing transfer (the Section 2 extension): the source
             # driver staged the data in a DMA-reachable buffer already; the
             # drivers exchange buffer pointers instead of copying.
-            yield Exec(20 * US)
+            yield _EXEC_PTR_PASS
         else:
             copy_bytes = (
                 min(32, job.frame.info_bytes)
@@ -241,16 +258,21 @@ class TokenRingDriver:
             )
             # Fixed DMA buffers are mapped uncached, so this copy costs the
             # paper's 1 us/byte whichever memory region holds the buffer.
-            yield from cpu_copy_at_rate(
-                self.kernel.ledger,
-                Region.SYSTEM,
-                self.buffer_region,
-                copy_bytes,
-                calibration.CPU_COPY_SYS_TO_IOCM_NS_PER_BYTE,
-            )
+            if copy_bytes:
+                self.kernel.ledger.record_cpu(
+                    Region.SYSTEM, self.buffer_region, copy_bytes
+                )
+                ex = self._txcopy_execs.get(copy_bytes)
+                if ex is None:
+                    ex = self._txcopy_execs[copy_bytes] = Exec(
+                        calibration.CPU_COPY_SYS_TO_IOCM_NS_PER_BYTE
+                        * copy_bytes
+                    )
+                yield ex
             job.chain.free()
             job.chain = None
-        yield from self._fire_probe(PROBE_PRE_TRANSMIT, job.frame)
+        if self.probes:
+            yield from self._fire_probe(PROBE_PRE_TRANSMIT, job.frame)
         self.stats_tx_packets += 1
         self.adapter.command_transmit(job.frame, self.buffer_region)
 
@@ -263,7 +285,7 @@ class TokenRingDriver:
 
     def _tx_complete_handler(self) -> Generator:
         """Transmit-complete interrupt: free the buffer, start the next."""
-        yield Exec(30 * US)
+        yield _EXEC_TX_COMPLETE
         old = yield RaiseSpl(calibration.SPL_NET)
         self._tx_busy = False
         self._tx_current = None
@@ -279,7 +301,7 @@ class TokenRingDriver:
         a duplicate packet."  The data is still in the buffer, so no copy is
         paid -- only the command reissue.
         """
-        yield Exec(40 * US)
+        yield _EXEC_PURGE
         old = yield RaiseSpl(calibration.SPL_NET)
         frame = self._tx_current
         if frame is not None:
@@ -338,7 +360,7 @@ class TokenRingDriver:
 
     def _rx_handler(self, frame: Frame, region: Region) -> Generator:
         """Receive interrupt: classify at the ARP/IP/CTMSP split point."""
-        yield Exec(calibration.TR_DRIVER_RX_CODE)
+        yield _EXEC_RX_CODE
         if frame.protocol == "ctmsp":
             yield from self._rx_ctmsp(frame, region)
         elif frame.protocol == CTMS_CONTROL_PROTOCOL:
@@ -349,7 +371,7 @@ class TokenRingDriver:
     def _rx_control(self, frame: Frame) -> Generator:
         """CTMS session-control frame: same split point, tiny classify cost."""
         self.stats_rx_control += 1
-        yield Exec(calibration.TR_DRIVER_RX_CLASSIFY_CODE)
+        yield _EXEC_RX_CLASSIFY
         handler = self.control_input
         self.adapter.release_rx_buffer()
         if handler is None:
@@ -363,9 +385,10 @@ class TokenRingDriver:
         # the fixed DMA buffer -- "the shortest possible test to determine
         # if the packet was an CTMSP packet"; measurement point 4 fires
         # immediately after it, before any copy.
-        yield Exec(calibration.TR_DRIVER_RX_CLASSIFY_CODE)
+        yield _EXEC_RX_CLASSIFY
         deliver = self._match_sink(frame)
-        yield from self._fire_probe(PROBE_RX_CLASSIFIED, frame)
+        if self.probes:
+            yield from self._fire_probe(PROBE_RX_CLASSIFIED, frame)
         if deliver is None:
             self.stats_rx_ctmsp_unclaimed += 1
             self.adapter.release_rx_buffer()
@@ -375,17 +398,29 @@ class TokenRingDriver:
         if self.config.rx_copy_to_mbufs:
             # "Receiver copies header and data from a fixed DMA buffer into
             # mbufs before passing to the VCA device."
+            info_bytes = frame.info_bytes
             try:
-                chain = self.kernel.mbufs.try_alloc_chain(frame.info_bytes)
+                chain = self.kernel.mbufs.try_alloc_chain(info_bytes)
             except MbufExhausted:
                 self.stats_rx_dropped_no_mbufs += 1
                 self.adapter.release_rx_buffer()
                 return
-            yield Exec(calibration.MBUF_ALLOC_COST * chain.buffer_count)
-            yield from cpu_copy_at_rate(
-                self.kernel.ledger, region, Region.SYSTEM, frame.info_bytes,
-                calibration.CPU_COPY_IOCM_TO_SYS_NS_PER_BYTE,
-            )
+            nbufs = len(chain.mbufs)
+            ex = self._alloc_execs.get(nbufs)
+            if ex is None:
+                ex = self._alloc_execs[nbufs] = Exec(
+                    calibration.MBUF_ALLOC_COST * nbufs
+                )
+            yield ex
+            if info_bytes:
+                self.kernel.ledger.record_cpu(region, Region.SYSTEM, info_bytes)
+                ex = self._rxcopy_execs.get(info_bytes)
+                if ex is None:
+                    ex = self._rxcopy_execs[info_bytes] = Exec(
+                        calibration.CPU_COPY_IOCM_TO_SYS_NS_PER_BYTE
+                        * info_bytes
+                    )
+                yield ex
             residency = Region.SYSTEM
             self.adapter.release_rx_buffer()
             yield from deliver(frame, residency, chain)

@@ -110,7 +110,7 @@ class StreamInvariantMonitor:
         """Begin periodic checking (idempotent)."""
         if not self._started:
             self._started = True
-            self.sim.schedule(
+            self.sim.schedule_fast(
                 max(self.grace_ns, self.check_period_ns), self._tick
             )
         return self
@@ -119,7 +119,7 @@ class StreamInvariantMonitor:
         if self._finished:
             return
         self.check_now()
-        self.sim.schedule(self.check_period_ns, self._tick)
+        self.sim.schedule_fast(self.check_period_ns, self._tick)
 
     def finish(self) -> list[Violation]:
         """End-of-run checks (throughput); returns all violations."""

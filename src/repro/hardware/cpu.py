@@ -95,7 +95,8 @@ class Frame:
         "remaining",
         "exec_started",
         "exec_factor",
-        "completion",
+        "executing",
+        "epoch",
         "resume_value",
         "saved_spl",
         "done_event",
@@ -116,7 +117,13 @@ class Frame:
         self.remaining: float = 0.0
         self.exec_started: int = 0
         self.exec_factor: float = 1.0
-        self.completion: Optional[Handle] = None
+        #: True while a completion entry for this frame is live on the
+        #: calendar.  Pausing bumps ``epoch`` instead of cancelling: the
+        #: stale entry still fires but identifies itself as outdated and
+        #: returns -- logical cancellation without allocating a Handle per
+        #: Exec on the hottest scheduling path in the tree.
+        self.executing = False
+        self.epoch = 0
         #: Value to send into the generator on next resume.
         self.resume_value: Any = None
         #: spl to restore when this interrupt frame exits.
@@ -176,7 +183,6 @@ class CPU:
         self.interference_per_source = (
             calibration.DMA_CPU_INTERFERENCE_PER_TRANSFER
         )
-        self._switch_handle: Optional[Handle] = None
 
         # --- statistics ---------------------------------------------------
         self.stats_busy_ns = 0
@@ -200,21 +206,26 @@ class CPU:
     def raise_irq(
         self,
         level: int,
-        handler: Callable[[], Generator[Any, Any, Any]],
+        handler: Callable[..., Generator[Any, Any, Any]],
         name: str = "irq",
+        *args: Any,
     ) -> Frame:
-        """Assert an interrupt at ``level``; ``handler()`` builds the frame body.
+        """Assert an interrupt at ``level``; ``handler(*args)`` builds the frame body.
 
         The handler runs immediately (after entry overhead) if ``level``
         exceeds both the current spl and the running handler's level;
-        otherwise it pends until the mask drops.
+        otherwise it pends until the mask drops.  Extra positional ``args``
+        are passed to the handler factory, so per-interrupt context (a
+        received frame, a buffer region) needs no closure allocation.
         """
         if level <= 0:
             raise SimulationError("interrupt level must be > 0")
-        frame = Frame(handler(), level, name, done_event=None)
-        frame.remaining = float(self.irq_entry_overhead)
+        frame = Frame(handler(*args), level, name, done_event=None)
+        frame.remaining = self.irq_entry_overhead
         self.stats_irq_count += 1
-        if self._irq_eligible(level):
+        if level > self.spl and not (
+            self._istack and level <= self._istack[-1].level
+        ):
             self._dispatch_irq(frame)
         else:
             self.stats_irq_pended += 1
@@ -282,7 +293,8 @@ class CPU:
             # timer keeps running underneath the handler.
             pass
         frame.saved_spl = self.spl
-        self.spl = max(self.spl, frame.level)
+        if frame.level > self.spl:
+            self.spl = frame.level
         self._istack.append(frame)
         frame.state = RUNNING
         self._note_busy()
@@ -291,64 +303,99 @@ class CPU:
     def _begin_exec(self, frame: Frame) -> None:
         """Schedule completion of the frame's remaining work, or advance it."""
         if frame.remaining > 0:
-            factor = self.contention_factor()
             frame.exec_started = self.sim.now
-            frame.exec_factor = factor
-            delay = max(0, round(frame.remaining * factor))
-            frame.completion = self.sim.schedule(delay, self._exec_done, frame)
+            if self._contention_sources:
+                factor = 1.0 + self.interference_per_source * self._contention_sources
+                frame.exec_factor = factor
+                delay = round(frame.remaining * factor)
+            else:
+                # Uncontended fast path: factor is exactly 1.0, so the
+                # multiply (and the historical max(0, ...) clamp) is a no-op.
+                frame.exec_factor = 1.0
+                delay = round(frame.remaining)
+            frame.executing = True
+            self.sim.schedule_fast(delay, self._advance, frame, frame.epoch)
         else:
             self._advance(frame)
 
     def _pause_exec(self, frame: Frame) -> None:
-        if frame.completion is not None:
+        if frame.executing:
             elapsed = self.sim.now - frame.exec_started
             frame.remaining = max(
                 0.0, frame.remaining - elapsed / frame.exec_factor
             )
-            frame.completion.cancel()
-            frame.completion = None
+            # Logical cancellation: the queued completion entry outlives the
+            # pause but its epoch no longer matches.
+            frame.epoch += 1
+            frame.executing = False
 
     def _reslice_running(self) -> None:
         frame = self.running
-        if frame is not None and frame.completion is not None:
+        if frame is not None and frame.executing:
             self._pause_exec(frame)
             self._begin_exec(frame)
 
-    def _exec_done(self, frame: Frame) -> None:
-        frame.completion = None
-        frame.remaining = 0.0
-        self._advance(frame)
+    def _advance(self, frame: Frame, epoch: int = -1) -> None:
+        """Run generator steps until the frame blocks, executes, or finishes.
 
-    def _advance(self, frame: Frame) -> None:
-        """Run generator steps until the frame blocks, executes, or finishes."""
+        Doubles as the exec-completion callback -- the hottest calendar
+        entry in the tree -- in which case ``epoch`` carries the value
+        captured when the completion was scheduled.  A pause (preemption,
+        contention reslice) bumps ``frame.epoch``, so a stale completion
+        identifies itself here and returns: logical cancellation with no
+        Handle and no tombstone.  Direct callers leave ``epoch`` at -1.
+        """
+        if epoch >= 0:
+            if epoch != frame.epoch:
+                return
+            frame.executing = False
+            frame.remaining = 0
+        # The op classes are final by convention (nothing in the tree
+        # subclasses them), so exact type checks replace isinstance here --
+        # this dispatch chain runs once per generator step of every frame.
+        # Event stays an isinstance check: Process subclasses it.
+        gen_send = frame.gen.send
         while True:
             try:
-                op = frame.gen.send(frame.resume_value)
+                op = gen_send(frame.resume_value)
             except StopIteration as stop:
                 self._frame_finished(frame, stop.value)
                 return
             frame.resume_value = None
 
-            if isinstance(op, Exec):
-                if op.work_ns <= 0:
+            cls = op.__class__
+            if cls is Exec:
+                work = op.work_ns
+                if work <= 0:
                     continue
-                frame.remaining = float(op.work_ns)
-                self._begin_exec(frame)
+                frame.remaining = work
+                if self._contention_sources:
+                    self._begin_exec(frame)
+                else:
+                    # Uncontended fresh Exec: the work is already an integer
+                    # delay, so skip _begin_exec's factor/round machinery.
+                    frame.exec_started = self.sim.now
+                    frame.exec_factor = 1.0
+                    frame.executing = True
+                    self.sim.schedule_fast(
+                        work, self._advance, frame, frame.epoch
+                    )
                 return
-            if isinstance(op, RaiseSpl):
+            if cls is RaiseSpl:
                 old = self.spl
-                self.spl = max(self.spl, op.level)
+                if op.level > old:
+                    self.spl = op.level
                 frame.resume_value = old
                 continue
-            if isinstance(op, SetSpl):
+            if cls is SetSpl:
                 old = self.spl
                 self.spl = op.level
                 frame.resume_value = old
                 if op.level < old and self._dispatch_best_pending(frame):
                     return
                 continue
-            if isinstance(op, Wait) or isinstance(op, Event):
-                event = op.event if isinstance(op, Wait) else op
+            if cls is Wait or isinstance(op, Event):
+                event = op.event if cls is Wait else op
                 if frame.level > 0:
                     raise SimulationError(
                         f"interrupt handler {frame.name} may not Wait"
@@ -366,6 +413,8 @@ class CPU:
         Returns True if the current frame was suspended (it will resume when
         the handler stack unwinds).
         """
+        if not self._pending:
+            return False
         best = self._best_pending_index()
         if best is None:
             return False
@@ -403,11 +452,12 @@ class CPU:
 
     def _after_unwind(self) -> None:
         """An interrupt frame exited: run pended IRQs, then resume below."""
-        best = self._best_pending_index()
-        if best is not None:
-            _level, _seq, frame = self._pending.pop(best)
-            self._dispatch_irq(frame)
-            return
+        if self._pending:
+            best = self._best_pending_index()
+            if best is not None:
+                _level, _seq, frame = self._pending.pop(best)
+                self._dispatch_irq(frame)
+                return
         if self._istack:
             below = self._istack[-1]
             below.state = RUNNING
@@ -464,7 +514,9 @@ class CPU:
         self._note_busy()
         if self.context_switch_cost > 0:
             frame.state = SWITCHING
-            self._switch_handle = self.sim.schedule(
+            # Never cancelled: an interrupt during the switch is resolved by
+            # the SWITCHING/PREEMPTED state machine in _finish_switch.
+            self.sim.schedule_fast(
                 self.context_switch_cost, self._finish_switch, frame
             )
         else:
@@ -472,7 +524,6 @@ class CPU:
             self._begin_exec(frame)
 
     def _finish_switch(self, frame: Frame) -> None:
-        self._switch_handle = None
         if self._istack:
             # An interrupt arrived during the switch; complete the switch
             # when the stack unwinds (frame stays PREEMPTED).

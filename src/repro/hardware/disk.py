@@ -106,7 +106,7 @@ class DiskAdapter:
         contends = region in (Region.SYSTEM, Region.USER)
         if contends:
             self.cpu.contention_started()
-        self.sim.schedule(service, self._read_done, contends, on_done)
+        self.sim.schedule_fast(service, self._read_done, contends, on_done)
 
     def _service_time(self, offset: int, nbytes: int) -> int:
         same_track = (

@@ -79,7 +79,7 @@ class DMAEngine:
         self.stats_transfers += 1
         self.stats_bytes += nbytes
         self.stats_busy_ns += duration
-        self.sim.schedule(duration, self._finish, contends, on_done)
+        self.sim.schedule_fast(duration, self._finish, contends, on_done)
 
     def _finish(
         self, contends: bool, on_done: Optional[Callable[[], None]]

@@ -32,6 +32,12 @@ class Region(enum.Enum):
     #: A user process address space (system memory + VM crossing costs).
     USER = "user"
 
+    # Region pairs key the copy-cost tables and the per-copy ledger, so this
+    # hash runs on every simulated copy.  Enum's default __hash__ is a
+    # Python-level method; members are singletons, so identity hashing is
+    # equivalent and stays in C.
+    __hash__ = object.__hash__
+
 
 #: CPU copy cost (ns/byte) for each (source, destination) region pair.
 CPU_COPY_COST: dict[tuple[Region, Region], int] = {

@@ -114,7 +114,7 @@ class TokenRingAdapter:
         self._last_tx_frame = frame
         stall = max(0, self.fault_tx_stall_until - self.sim.now)
         self.stats_tx_stalled_ns += stall
-        self.sim.schedule(
+        self.sim.schedule_fast(
             stall + self.command_latency, self._fetch_frame, frame, from_region
         )
 
@@ -125,7 +125,7 @@ class TokenRingAdapter:
         contends = from_region in (Region.SYSTEM, Region.USER)
         if contends:
             self.cpu.contention_started()
-        self.sim.schedule(duration, self._fetch_done, frame, contends)
+        self.sim.schedule_fast(duration, self._fetch_done, frame, contends)
 
     def _fetch_done(self, frame: Frame, contends: bool) -> None:
         if contends:
@@ -150,7 +150,7 @@ class TokenRingAdapter:
             self.fault_drop_tx_complete -= 1
             if self.fault_drop_tx_complete_delay_ns > 0:
                 self.stats_tx_complete_delayed += 1
-                self.sim.schedule(
+                self.sim.schedule_fast(
                     self.fault_drop_tx_complete_delay_ns,
                     self.cpu.raise_irq,
                     self.irq_level,
@@ -185,7 +185,7 @@ class TokenRingAdapter:
         contends = self.rx_buffer_region in (Region.SYSTEM, Region.USER)
         if contends:
             self.cpu.contention_started()
-        self.sim.schedule(duration, self._rx_dma_done, frame, contends)
+        self.sim.schedule_fast(duration, self._rx_dma_done, frame, contends)
 
     def _rx_dma_done(self, frame: Frame, contends: bool) -> None:
         if contends:
@@ -198,18 +198,18 @@ class TokenRingAdapter:
         if self.fault_rx_delay_ns > 0:
             # Injected interrupt coalescing: the card holds the completed
             # receive before asserting the interrupt line.
-            self.sim.schedule(
+            self.sim.schedule_fast(
                 self.fault_rx_delay_ns,
                 self.cpu.raise_irq,
                 self.irq_level,
-                lambda: self.on_rx_frame(frame, region),
+                self.on_rx_frame,
                 "tr-rx",
+                frame,
+                region,
             )
             return
         self.cpu.raise_irq(
-            self.irq_level,
-            lambda: self.on_rx_frame(frame, region),
-            name="tr-rx",
+            self.irq_level, self.on_rx_frame, "tr-rx", frame, region
         )
 
     def release_rx_buffer(self) -> None:

@@ -19,7 +19,7 @@ from typing import Callable, Generator, Optional
 
 from repro.hardware import calibration
 from repro.hardware.memory import MemoryRegion, Region
-from repro.sim.engine import Handle, Simulator
+from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 
 
@@ -59,8 +59,12 @@ class VoiceCommunicationsAdapter:
         self.handler_factory: Optional[Callable[[], Generator]] = None
         self.irq_listeners: list[Callable[[int], None]] = []
         self._running = False
-        self._next_tick: Optional[Handle] = None
+        #: Logical-cancellation counter for the DSP timer: ``stop()`` bumps
+        #: it, so a queued tick identifies itself as stale instead of
+        #: carrying a cancellable Handle (allocation-free tier).
+        self._timer_epoch = 0
         self._tick_count = 0
+        self._irq_name = f"{name}-irq"
         self.stats_interrupts = 0
 
     # ------------------------------------------------------------------
@@ -81,9 +85,7 @@ class VoiceCommunicationsAdapter:
     def stop(self) -> None:
         """Halt the DSP timer."""
         self._running = False
-        if self._next_tick is not None:
-            self._next_tick.cancel()
-            self._next_tick = None
+        self._timer_epoch += 1
 
     # ------------------------------------------------------------------
     # timer mechanics
@@ -97,17 +99,15 @@ class VoiceCommunicationsAdapter:
         nominal = self._tick_count * self.period
         offset = self._rng.randint(-self.jitter, self.jitter) if self.jitter else 0
         fire_at = max(self.sim.now + 1, nominal + offset)
-        self._next_tick = self.sim.at(fire_at, self._fire)
+        self.sim.at_fast(fire_at, self._fire, self._timer_epoch)
 
-    def _fire(self) -> None:
-        self._next_tick = None
-        if not self._running:
+    def _fire(self, epoch: int) -> None:
+        if epoch != self._timer_epoch or not self._running:
             return
         self.stats_interrupts += 1
-        for listener in self.irq_listeners:
-            listener(self.sim.now)
+        if self.irq_listeners:
+            for listener in self.irq_listeners:
+                listener(self.sim.now)
         if self.handler_factory is not None:
-            self._raise_irq(
-                self.irq_level, self.handler_factory, name=f"{self.name}-irq"
-            )
+            self._raise_irq(self.irq_level, self.handler_factory, self._irq_name)
         self._schedule_next()

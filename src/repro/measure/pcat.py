@@ -91,7 +91,7 @@ class PcatTimestamper:
         if not self._marker_running:
             return
         self._edge(MARKER_CHANNEL, self.sim.now, 1)
-        self.sim.schedule(calibration.PCAT_ROLLOVER_MARKER_PERIOD, self._marker_tick)
+        self.sim.schedule_fast(calibration.PCAT_ROLLOVER_MARKER_PERIOD, self._marker_tick)
 
     # ------------------------------------------------------------------
     # capture (the interrupt-handler polling loop)

@@ -41,7 +41,7 @@ CATEGORIES = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceContext:
     """The context a packet carries along the data path.
 
@@ -54,7 +54,7 @@ class TraceContext:
     born_ns: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PointEvent:
     """One timestamped occurrence of a named measurement point.
 
@@ -68,7 +68,7 @@ class PointEvent:
     t_ns: int
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """A named interval on the simulated clock."""
 
@@ -84,7 +84,7 @@ class Span:
         return self.end_ns - self.start_ns
 
 
-@dataclass
+@dataclass(slots=True)
 class InstantEvent:
     """A zero-duration marker (a lost frame, a TAP capture)."""
 

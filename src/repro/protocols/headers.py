@@ -23,7 +23,7 @@ ARP_PACKET_BYTES = 28
 TCP_MSS = 1460
 
 
-@dataclass
+@dataclass(slots=True)
 class Datagram:
     """One IP datagram as the stack layers see it."""
 

@@ -101,7 +101,7 @@ class DetailedTokenRing:
         # Pad the ring to the declared size with silent repeaters.
         while len(self.stations) < self.total_stations:
             DetailedStation(self, f"_repeater{len(self.stations)}")
-        self.sim.schedule(1, self._token_at, 0)
+        self.sim.schedule_fast(1, self._token_at, 0)
 
     # ------------------------------------------------------------------
     # token circulation
@@ -119,7 +119,7 @@ class DetailedTokenRing:
             elapsed = self.sim.now - self._parked_at
             hops, remainder = divmod(elapsed, HOP_NS)
             position = int(self._parked_position + hops) % self.total_stations
-            self.sim.schedule(
+            self.sim.schedule_fast(
                 max(1, HOP_NS - remainder), self._token_at,
                 (position + 1) % self.total_stations,
             )
@@ -154,7 +154,7 @@ class DetailedTokenRing:
             self.token_priority = self._stack.pop()
             if not self._stack:
                 self._stacker = None
-        self.sim.schedule(
+        self.sim.schedule_fast(
             HOP_NS, self._token_at, (position + 1) % self.total_stations
         )
 
@@ -173,9 +173,9 @@ class DetailedTokenRing:
         # Deliveries: destination sees the full frame after its hops.
         for dst in self._destinations(frame, station):
             hops = (dst.position - station.position) % self.total_stations
-            self.sim.schedule(wire + hops * HOP_NS, self._deliver, dst, frame)
+            self.sim.schedule_fast(wire + hops * HOP_NS, self._deliver, dst, frame)
         release_after = wire + self.total_stations * HOP_NS
-        self.sim.schedule(release_after, self._release, station, on_complete, frame)
+        self.sim.schedule_fast(release_after, self._release, station, on_complete, frame)
 
     def _destinations(self, frame: Frame, src: DetailedStation):
         if frame.dst == BROADCAST:
@@ -200,7 +200,7 @@ class DetailedTokenRing:
             self._stacker = station.position
             self.token_priority = reservation
         self._reservation = 0
-        self.sim.schedule(
+        self.sim.schedule_fast(
             HOP_NS,
             self._token_at,
             (station.position + 1) % self.total_stations,

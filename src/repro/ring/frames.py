@@ -43,7 +43,7 @@ def wire_time_ns(info_bytes: int, framing_bytes: int = calibration.FRAME_OVERHEA
     return total * calibration.TOKEN_RING_NS_PER_BYTE
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One frame on the ring."""
 
@@ -62,6 +62,10 @@ class Frame:
     #: the order of 20 bytes" as the paper observed.
     framing_bytes: int = calibration.FRAME_OVERHEAD_BYTES
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    #: Serialization time at 4 Mbit/s, fixed at construction.  A plain
+    #: field rather than a property: the ring reads it several times per
+    #: capture, and frames are immutable once built.
+    wire_time_ns: int = field(init=False, default=0)
 
     #: 4 Mbit 802.5 maximum information field (token-holding time bound).
     MAX_INFO_BYTES = 4472
@@ -76,16 +80,14 @@ class Frame:
                 f"information field {self.info_bytes}B exceeds the 4 Mbit "
                 f"ring's {self.MAX_INFO_BYTES}B maximum"
             )
+        self.wire_time_ns = (
+            self.info_bytes + self.framing_bytes
+        ) * calibration.TOKEN_RING_NS_PER_BYTE
 
     @property
     def wire_bytes(self) -> int:
         """Total bytes on the wire including 802.5 framing."""
         return self.info_bytes + self.framing_bytes
-
-    @property
-    def wire_time_ns(self) -> int:
-        """Serialization time at 4 Mbit/s."""
-        return wire_time_ns(self.info_bytes, self.framing_bytes)
 
     def access_control_byte(self, reservation: int = 0) -> int:
         """Synthesize the AC byte as TAP would record it (PPPTMRRR)."""

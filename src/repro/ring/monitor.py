@@ -53,6 +53,7 @@ class ActiveMonitor:
         #: purges not caused by insertions, at a low Poisson rate.
         self.soft_errors_per_hour = soft_errors_per_hour
         self._rng = rng.get("active-monitor")
+        self._mac_gap_rate: Optional[float] = None
         self._running = False
         self.stats_mac_frames = 0
         self.stats_purges_issued = 0
@@ -64,7 +65,7 @@ class ActiveMonitor:
             return
         self._running = True
         if self.mac_utilization > 0:
-            self.sim.schedule(self._next_gap(), self._emit_mac)
+            self.sim.schedule_fast(self._next_gap(), self._emit_mac)
         if self.soft_errors_per_hour > 0:
             self._schedule_soft_error()
 
@@ -78,7 +79,7 @@ class ActiveMonitor:
             1,
             round(self._rng.expovariate(self.soft_errors_per_hour / HOUR)),
         )
-        self.sim.schedule(gap, self._soft_error)
+        self.sim.schedule_fast(gap, self._soft_error)
 
     def _soft_error(self) -> None:
         if not self._running:
@@ -89,17 +90,20 @@ class ActiveMonitor:
 
     def _next_gap(self) -> int:
         # Mean inter-frame gap so that MAC wire time / total time equals the
-        # requested utilization; exponential spacing.
-        wire = mac_frame(self.station.address).wire_time_ns
-        mean_gap = wire / self.mac_utilization
-        return max(1, round(self._rng.expovariate(1.0 / mean_gap)))
+        # requested utilization; exponential spacing.  The MAC wire time is
+        # a constant, so the rate is computed once and cached.
+        rate = self._mac_gap_rate
+        if rate is None:
+            wire = mac_frame(self.station.address).wire_time_ns
+            rate = self._mac_gap_rate = self.mac_utilization / wire
+        return max(1, round(self._rng.expovariate(rate)))
 
     def _emit_mac(self) -> None:
         if not self._running:
             return
         self.stats_mac_frames += 1
         self.station.transmit(mac_frame(self.station.address))
-        self.sim.schedule(self._next_gap(), self._emit_mac)
+        self.sim.schedule_fast(self._next_gap(), self._emit_mac)
 
     def purge(self, duration: int = calibration.RING_PURGE_DURATION) -> None:
         """Purge the ring once (transmitting the Ring Purge MAC frame)."""
@@ -150,7 +154,7 @@ class InsertionProcess:
         if self.insertions_per_day <= 0:
             return
         gap = max(1, round(self._rng.expovariate(1.0 / self._mean_gap_ns())))
-        self.sim.schedule(gap, self._insert)
+        self.sim.schedule_fast(gap, self._insert)
 
     def _insert(self) -> None:
         if not self._running:
@@ -161,7 +165,7 @@ class InsertionProcess:
         # consecutive purges, each extending the outage.
         burst = self._rng.randint(self.burst_low, self.burst_high)
         for i in range(burst):
-            self.sim.schedule(
+            self.sim.schedule_fast(
                 i * calibration.RING_PURGE_DURATION,
                 self._purge_once,
             )

@@ -79,15 +79,20 @@ class TokenRing:
         #: :class:`repro.faults.injectors.FaultInjector`.
         self.fault_filters: list[Callable[[Frame], bool]] = []
 
-        # token state
+        # token state.  Capture/release/delivery are scheduled with the
+        # allocation-free tier and cancelled *logically*: each carries the
+        # epoch counter current when it was queued, and a bump (purge,
+        # capture retarget) makes in-flight entries identify themselves as
+        # stale and return.  Only the rare purge-resume keeps a Handle.
         self._token_priority = 0
         self._token_ref_pos = 0.0
         self._token_ref_time = 0
         self._holder: Optional[_Request] = None
-        self._capture_handle: Optional[Handle] = None
+        self._capture_epoch = 0
+        self._capture_time = -1  # arrival of the pending capture, -1 if none
         self._capture_target: Optional[_Request] = None
-        self._release_handle: Optional[Handle] = None
-        self._delivery_handles: list[Handle] = []
+        self._release_epoch = 0
+        self._delivery_epoch = 0
         self._down_until = 0
         self._purge_resume: Optional[Handle] = None
         self._requests: list[_Request] = []
@@ -160,40 +165,55 @@ class TokenRing:
         if now < self._down_until:
             self._schedule_purge_resume()
             return
-        eligible = [
-            r for r in self._requests if r.frame.priority >= self._token_priority
-        ]
-        if not eligible:
-            # Nothing may take the token at its current priority; in real
-            # 802.5 the stacking station lowers it after one rotation.
-            self._token_priority = max(r.frame.priority for r in self._requests)
-            eligible = [
-                r
-                for r in self._requests
-                if r.frame.priority >= self._token_priority
-            ]
-        pos = self._token_position(now)
-        best: Optional[tuple[tuple[int, int], _Request]] = None
-        for request in eligible:
+        requests = self._requests
+        if len(requests) == 1:
+            # Dominant case on a clean ring: one waiting frame.  The general
+            # path below reduces to "lower the token to its priority if
+            # needed and capture at its station" -- skip the comprehensions.
+            request = requests[0]
+            if request.frame.priority < self._token_priority:
+                self._token_priority = request.frame.priority
+            pos = self._token_position(now)
             hops = (request.station.position - pos) % self.total_stations
             arrival = now + round(hops * self.hop_ns) + TOKEN_TIME_NS
-            # Tie-break equal arrivals (same station) by priority: a
-            # station that captures the token sends its most urgent frame
-            # first (pinned by the hop-level reference model).
-            key = (arrival, -request.frame.priority)
-            if best is None or key < best[0]:
-                best = (key, request)
-        assert best is not None
-        (arrival, _neg_priority), request = best
-        if self._capture_handle is not None:
-            if self._capture_target is request and self._capture_handle.time <= arrival:
+        else:
+            eligible = [
+                r for r in requests if r.frame.priority >= self._token_priority
+            ]
+            if not eligible:
+                # Nothing may take the token at its current priority; in real
+                # 802.5 the stacking station lowers it after one rotation.
+                self._token_priority = max(r.frame.priority for r in requests)
+                eligible = [
+                    r
+                    for r in requests
+                    if r.frame.priority >= self._token_priority
+                ]
+            pos = self._token_position(now)
+            best: Optional[tuple[tuple[int, int], _Request]] = None
+            for request in eligible:
+                hops = (request.station.position - pos) % self.total_stations
+                arrival = now + round(hops * self.hop_ns) + TOKEN_TIME_NS
+                # Tie-break equal arrivals (same station) by priority: a
+                # station that captures the token sends its most urgent frame
+                # first (pinned by the hop-level reference model).
+                key = (arrival, -request.frame.priority)
+                if best is None or key < best[0]:
+                    best = (key, request)
+            assert best is not None
+            (arrival, _neg_priority), request = best
+        if self._capture_time >= 0:
+            if self._capture_target is request and self._capture_time <= arrival:
                 return
-            self._capture_handle.cancel()
+            self._capture_epoch += 1  # invalidate the pending capture
         self._capture_target = request
-        self._capture_handle = self.sim.at(arrival, self._capture, request)
+        self._capture_time = arrival
+        self.sim.at_fast(arrival, self._capture, request, self._capture_epoch)
 
-    def _capture(self, request: _Request) -> None:
-        self._capture_handle = None
+    def _capture(self, request: _Request, epoch: int) -> None:
+        if epoch != self._capture_epoch:
+            return  # retargeted or purged since this entry was queued
+        self._capture_time = -1
         self._capture_target = None
         if request not in self._requests:  # pragma: no cover - defensive
             self._evaluate()
@@ -208,8 +228,19 @@ class TokenRing:
         )
         wire = frame.wire_time_ns
         self.stats_busy_ns += wire
-        self._count(frame)
-        faulted = any(flt(frame) for flt in self.fault_filters)
+        # Per-protocol accounting, inline: this runs once per frame on the
+        # wire and is the hottest non-CPU dispatch in the tree.
+        entry = self.stats_by_protocol.get(frame.protocol)
+        if entry is None:
+            entry = self.stats_by_protocol[frame.protocol] = {
+                "frames": 0, "bytes": 0, "wire_ns": 0
+            }
+        entry["frames"] += 1
+        entry["bytes"] += frame.info_bytes + frame.framing_bytes
+        entry["wire_ns"] += wire
+        faulted = bool(self.fault_filters) and any(
+            flt(frame) for flt in self.fault_filters
+        )
         for monitor in self.monitors:
             monitor(frame, now, "lost" if faulted else "wire")
         # Deliveries: each destination sees the full frame after it has
@@ -217,7 +248,6 @@ class TokenRing:
         # corrupted by an injected fault still occupies the wire for its
         # full serialization but reaches no one; the transmitter is not
         # told (status stays TX_OK at release).
-        self._delivery_handles = []
         if faulted:
             self.stats_frames_lost_to_fault += 1
             self.stats_lost_by_protocol[frame.protocol] = (
@@ -225,15 +255,16 @@ class TokenRing:
             )
         else:
             src_pos = request.station.position
+            delivery_epoch = self._delivery_epoch
             for dst in self._destinations(frame):
                 hops = (dst.position - src_pos) % self.total_stations
                 t_rx = wire + round(hops * self.hop_ns)
-                self._delivery_handles.append(
-                    self.sim.schedule(t_rx, self._deliver, dst, frame)
+                self.sim.schedule_fast(
+                    t_rx, self._deliver, dst, frame, delivery_epoch
                 )
         release_after = wire + self.ring_latency_ns
-        self._release_handle = self.sim.schedule(
-            release_after, self._release, request, TX_OK
+        self.sim.schedule_fast(
+            release_after, self._release, request, TX_OK, self._release_epoch
         )
 
     def _destinations(self, frame: Frame) -> list:
@@ -242,18 +273,22 @@ class TokenRing:
         dst = self._by_address.get(frame.dst)
         return [dst] if dst is not None else []
 
-    def _deliver(self, dst, frame: Frame) -> None:
+    def _deliver(self, dst, frame: Frame, epoch: int) -> None:
+        if epoch != self._delivery_epoch:
+            return  # the frame was lost to a purge while in flight
         dst.on_frame(frame)
 
-    def _release(self, request: _Request, status: str) -> None:
-        self._release_handle = None
+    def _release(self, request: _Request, status: str, epoch: int) -> None:
+        if epoch != self._release_epoch:
+            return  # the holder lost its frame to a purge
         self._holder = None
-        self._delivery_handles = []
         # Reservation: the released token carries the highest waiting
         # priority; 0 when nothing waits.
-        self._token_priority = max(
-            (r.frame.priority for r in self._requests), default=0
-        )
+        priority = 0
+        for r in self._requests:
+            if r.frame.priority > priority:
+                priority = r.frame.priority
+        self._token_priority = priority
         # The released token departs *downstream*: the releasing station
         # cannot recapture it until it circulates the whole ring (caught by
         # cross-validation against the hop-level reference model).
@@ -282,19 +317,17 @@ class TokenRing:
         now = self.sim.now
         self.stats_purges += 1
         self._down_until = max(self._down_until, now + duration)
-        if self._capture_handle is not None:
-            self._capture_handle.cancel()
-            self._capture_handle = None
+        if self._capture_time >= 0:
+            self._capture_epoch += 1
+            self._capture_time = -1
             self._capture_target = None
         if self._holder is not None:
             lost = self._holder
             self._holder = None
-            for handle in self._delivery_handles:
-                handle.cancel()
-            self._delivery_handles = []
-            if self._release_handle is not None:
-                self._release_handle.cancel()
-                self._release_handle = None
+            # Logically cancel the in-flight deliveries and the pending
+            # release: bump their epochs so the queued entries no-op.
+            self._delivery_epoch += 1
+            self._release_epoch += 1
             self.stats_frames_lost_to_purge += 1
             proto = lost.frame.protocol
             self.stats_lost_by_protocol[proto] = (
@@ -335,14 +368,6 @@ class TokenRing:
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
-    def _count(self, frame: Frame) -> None:
-        entry = self.stats_by_protocol.setdefault(
-            frame.protocol, {"frames": 0, "bytes": 0, "wire_ns": 0}
-        )
-        entry["frames"] += 1
-        entry["bytes"] += frame.wire_bytes
-        entry["wire_ns"] += frame.wire_time_ns
-
     def utilization(self, elapsed_ns: int) -> float:
         """Fraction of ``elapsed_ns`` the wire carried frames."""
         return self.stats_busy_ns / elapsed_ns if elapsed_ns else 0.0

@@ -1,6 +1,6 @@
 """The discrete-event engine: simulator, events, coroutine processes.
 
-The design follows the classic event-calendar pattern: a binary heap of
+The design follows the classic event-calendar pattern: a calendar of
 ``(time, sequence, action)`` entries, a monotonically non-decreasing ``now``,
 and two complementary programming models on top:
 
@@ -12,14 +12,33 @@ and two complementary programming models on top:
 
 Both models interoperate: a callback can ``succeed()`` an event a process is
 waiting on, and a process can schedule callbacks.
+
+The calendar's storage is pluggable (:mod:`repro.sim.scheduler`): the
+default is a calendar-queue/heap hybrid tuned for this testbed's time
+distribution, with the classic single binary heap available as
+``Simulator(scheduler="heapq")`` for A/B runs and golden-trace equivalence
+tests.  Both backends dispatch in identical ``(time, jitter, seq)`` order.
+
+Two scheduling tiers exist.  :meth:`Simulator.schedule` / :meth:`Simulator.at`
+return a cancellable :class:`Handle`; :meth:`Simulator.schedule_fast` returns
+nothing and allocates nothing beyond the calendar entry itself -- it is the
+right call for the dominant fire-and-forget schedules in driver/ring/protocol
+inner loops (see ``docs/KERNEL.md``).
 """
 
 from __future__ import annotations
 
-import heapq
 import random
 import time
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from bisect import insort
+from heapq import heappush
+
+from repro.sim.scheduler import CalendarScheduler, make_scheduler
+
+#: Sentinel bound for run(until=None): beyond any representable sim time.
+_FOREVER = 1 << 62
 
 
 class SimulationError(RuntimeError):
@@ -61,9 +80,24 @@ class Event:
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         """Run ``fn(event)`` when the event resolves (immediately if it has)."""
         if self._callbacks is None:
-            self.sim.schedule(0, fn, self)
+            self.sim.schedule_fast(0, fn, self)
         else:
             self._callbacks.append(fn)
+
+    def discard_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Stop ``fn`` from running when the event resolves (if still pending).
+
+        A no-op when the event already resolved or ``fn`` was never attached.
+        Combinators (:meth:`Simulator.any_of`) use this to detach themselves
+        from losing events so a long-pending loser does not keep the combined
+        event -- and everything reachable from its callbacks -- alive.
+        """
+        callbacks = self._callbacks
+        if callbacks is not None:
+            try:
+                callbacks.remove(fn)
+            except ValueError:
+                pass
 
     def succeed(self, value: Any = None) -> "Event":
         """Resolve the event successfully, waking all waiters."""
@@ -82,8 +116,9 @@ class Event:
         self.value = value
         callbacks, self._callbacks = self._callbacks, None
         assert callbacks is not None
+        schedule_fast = self.sim.schedule_fast
         for fn in callbacks:
-            self.sim.schedule(0, fn, self)
+            schedule_fast(0, fn, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "pending" if self._ok is None else ("ok" if self._ok else "failed")
@@ -93,15 +128,20 @@ class Event:
 class Handle:
     """A cancellable scheduled callback returned by :meth:`Simulator.schedule`."""
 
-    __slots__ = ("time", "cancelled")
+    __slots__ = ("time", "cancelled", "_sched")
 
-    def __init__(self, time: int) -> None:
+    def __init__(self, time: int, sched: Any) -> None:
         self.time = time
         self.cancelled = False
+        self._sched = sched
 
     def cancel(self) -> None:
         """Prevent the callback from running (a no-op if it already ran)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            # Tombstone accounting: the entry stays queued until popped or
+            # compacted away; the backend decides when skips outweigh work.
+            self._sched.note_cancel()
 
 
 class Process(Event):
@@ -125,7 +165,7 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self._gen = gen
         self._waiting_on: Optional[Event] = None
-        sim.schedule(0, self._step, None)
+        sim.schedule_fast(0, self._step, None)
 
     def kill(self) -> None:
         """Terminate the process by throwing :class:`ProcessKilled` into it."""
@@ -146,7 +186,7 @@ class Process(Event):
         raise SimulationError(f"process {self.name} ignored kill()")
 
     def _step(self, fired: Optional[Event]) -> None:
-        if self.triggered:
+        if self._ok is not None:
             return
         if fired is not None and fired is not self._waiting_on:
             return  # stale wakeup from an event we stopped waiting on
@@ -193,6 +233,13 @@ class Simulator:
     simulated state must happen from inside a scheduled callback or process
     step; the calendar guarantees callbacks run in (time, FIFO) order.
 
+    **Scheduler backends.**  ``scheduler=`` selects the calendar storage:
+    ``"calendar"`` (default) is the calendar-queue/heap hybrid of
+    :mod:`repro.sim.scheduler`; ``"heapq"`` is the classic single binary
+    heap.  Both dispatch in identical order (the equivalence tests pin
+    this); an already-constructed backend instance is accepted for tuning
+    experiments.
+
     **Tie-break sanitizer.**  Events scheduled at the *same* instant are
     logically concurrent: a model whose end state depends on their FIFO
     order has a scheduler-order race that FIFO determinism merely hides.
@@ -225,6 +272,7 @@ class Simulator:
         tiebreak_seed: int = 0,
         record_trace: bool = False,
         profile: bool = False,
+        scheduler: Any = "calendar",
     ) -> None:
         if tiebreak not in self.TIEBREAKS:
             raise SimulationError(
@@ -242,22 +290,67 @@ class Simulator:
         self._tiebreak_rng: Optional[random.Random] = (
             random.Random(tiebreak_seed) if tiebreak == "random" else None
         )
-        self._queue: list[tuple[int, int, int, Handle, Callable, tuple]] = []
+        self._sched = make_scheduler(scheduler)
+        self._push = self._sched.push
         self._seq = 0
+        if self._tiebreak_rng is not None:
+            # The class-level scheduling methods are the fifo fast path
+            # (seq in the tie-break slot, no rng branch); the sanitizer
+            # shadows them with the jitter-drawing variants per instance.
+            self.schedule = self._schedule_jittered  # type: ignore[method-assign]
+            self.schedule_fast = self._schedule_fast_jittered  # type: ignore[method-assign]
+            self.at = self._at_jittered  # type: ignore[method-assign]
+            self.at_fast = self._at_fast_jittered  # type: ignore[method-assign]
+        elif type(self._sched) is CalendarScheduler:
+            # Default configuration (fifo + calendar): shadow schedule_fast
+            # and at_fast with fused closures that place the entry directly
+            # in the calendar ring -- the single hottest call in the tree.
+            fused_fast, fused_at = self._build_fused_fast_paths()
+            self.schedule_fast = fused_fast  # type: ignore[method-assign]
+            self.at_fast = fused_at  # type: ignore[method-assign]
         self._running = False
         #: Calendar entries dispatched so far (cancelled entries excluded).
-        #: Cheap enough for the hot loop; campaign benchmarks divide this
-        #: by wall time for their events/sec figure.
+        #: Campaign benchmarks divide this by wall time for their events/sec
+        #: figure.  Updated in bulk when :meth:`run` returns; mid-callback
+        #: readers (none exist today) would see the pre-run value.
         self.stats_events = 0
 
     # ------------------------------------------------------------------
     # scheduling primitives
     # ------------------------------------------------------------------
+    # The class-level methods below are the fifo fast path: the unique
+    # sequence number sits directly in the tie-break slot (entry[1]), so a
+    # tuple comparison between same-time entries settles on the second
+    # element and entry[2] is a constant 0.  Under ``tiebreak="random"``
+    # the constructor shadows them with the ``*_jittered`` twins, whose
+    # entries carry ``(time, jitter, seq)`` -- the layouts never mix
+    # because the tie-break policy is fixed per simulator.  Backends only
+    # ever read ``entry[0]`` and compare entries as tuples, and the
+    # dispatch loop reads slots 3..5, which both layouts share.
+
     def schedule(self, delay_ns: int, fn: Callable, *args: Any) -> Handle:
-        """Run ``fn(*args)`` after ``delay_ns`` nanoseconds."""
+        """Run ``fn(*args)`` after ``delay_ns`` nanoseconds (cancellable)."""
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule into the past ({delay_ns}ns)")
-        return self.at(self.now + int(delay_ns), fn, *args)
+        time_ns = self.now + delay_ns
+        handle = Handle(time_ns, self._sched)
+        self._seq += 1
+        self._push((time_ns, self._seq, 0, handle, fn, args))
+        return handle
+
+    def schedule_fast(self, delay_ns: int, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay_ns`` nanoseconds, non-cancellable.
+
+        The allocation-free tier: no :class:`Handle` is created, so inner
+        loops that never cancel (driver transmit chains, ring rotation,
+        clock ticks, event resolution) pay only for the calendar entry.
+        Ordering is identical to :meth:`schedule` -- the same sequence
+        number and tie-break jitter are drawn.
+        """
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay_ns}ns)")
+        self._seq += 1
+        self._push((self.now + delay_ns, self._seq, 0, None, fn, args))
 
     def at(self, time_ns: int, fn: Callable, *args: Any) -> Handle:
         """Run ``fn(*args)`` at absolute simulated time ``time_ns``."""
@@ -265,25 +358,150 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time_ns}ns, now is {self.now}ns"
             )
-        handle = Handle(time_ns)
+        handle = Handle(time_ns, self._sched)
+        self._seq += 1
+        self._push((time_ns, self._seq, 0, handle, fn, args))
+        return handle
+
+    def at_fast(self, time_ns: int, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute time ``time_ns``, non-cancellable.
+
+        The absolute-time twin of :meth:`schedule_fast`: no :class:`Handle`,
+        so callers that cancel logically (an epoch counter checked by the
+        callback, as the ring layer does) skip the per-entry allocation.
+        """
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time_ns}ns, now is {self.now}ns"
+            )
+        self._seq += 1
+        self._push((time_ns, self._seq, 0, None, fn, args))
+
+    def _build_fused_fast_paths(self) -> tuple[Callable, Callable]:
+        """Build :meth:`schedule_fast`/:meth:`at_fast` with the calendar push inlined.
+
+        Installed by the constructor for the default fifo + calendar
+        configuration only.  The closures cache the scheduler's immutable
+        geometry -- bucket width, count, mask, and the bucket ring itself
+        (its lists are cleared in place by ``compact()``, never rebound) --
+        as cell variables, which CPython loads faster than ``__slots__``
+        attributes.  The mutable cursor state (``_cab``/``_cur``/``_idx``/
+        ``_nbucketed``) and ``_overflow`` (rebound by ``compact()``) stay
+        attribute reads.  The bodies must mirror ``push()`` exactly (same
+        bucket selection, same active-bucket insort) -- the backend
+        equivalence tests catch drift.
+        """
+        sched = self._sched
+        wb = sched._wb
+        nb = sched._nb
+        mask = sched._mask
+        buckets = sched._buckets
+        err = SimulationError
+
+        def schedule_fast(delay_ns: int, fn: Callable, *args: Any) -> None:
+            if delay_ns < 0:
+                raise err(f"cannot schedule into the past ({delay_ns}ns)")
+            seq = self._seq + 1
+            self._seq = seq
+            t = self.now + delay_ns
+            entry = (t, seq, 0, None, fn, args)
+            ab = t >> wb
+            if ab - sched._cab < nb:
+                bucket = buckets[ab & mask]
+                if bucket is sched._cur:
+                    insort(bucket, entry, sched._idx)
+                else:
+                    bucket.append(entry)
+                sched._nbucketed += 1
+            else:
+                heappush(sched._overflow, entry)
+
+        def at_fast(time_ns: int, fn: Callable, *args: Any) -> None:
+            if time_ns < self.now:
+                raise err(
+                    f"cannot schedule at {time_ns}ns, now is {self.now}ns"
+                )
+            seq = self._seq + 1
+            self._seq = seq
+            entry = (time_ns, seq, 0, None, fn, args)
+            ab = time_ns >> wb
+            if ab - sched._cab < nb:
+                bucket = buckets[ab & mask]
+                if bucket is sched._cur:
+                    insort(bucket, entry, sched._idx)
+                else:
+                    bucket.append(entry)
+                sched._nbucketed += 1
+            else:
+                heappush(sched._overflow, entry)
+
+        return schedule_fast, at_fast
+
+    # -- tiebreak="random" twins: same semantics, jitter drawn per entry --
+
+    def _schedule_jittered(self, delay_ns: int, fn: Callable, *args: Any) -> Handle:
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay_ns}ns)")
+        time_ns = self.now + delay_ns
+        handle = Handle(time_ns, self._sched)
+        self._seq += 1
+        self._push(
+            (time_ns, self._tiebreak_rng.getrandbits(32), self._seq,
+             handle, fn, args)
+        )
+        return handle
+
+    def _schedule_fast_jittered(
+        self, delay_ns: int, fn: Callable, *args: Any
+    ) -> None:
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay_ns}ns)")
+        self._seq += 1
+        self._push(
+            (self.now + delay_ns, self._tiebreak_rng.getrandbits(32),
+             self._seq, None, fn, args)
+        )
+
+    def _at_jittered(self, time_ns: int, fn: Callable, *args: Any) -> Handle:
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time_ns}ns, now is {self.now}ns"
+            )
+        handle = Handle(time_ns, self._sched)
         self._seq += 1
         # Same-instant entries are concurrent; under the sanitizer their
         # order is a seeded shuffle instead of FIFO (seq still breaks the
         # rare jitter collision deterministically).
-        jitter = (
-            self._tiebreak_rng.getrandbits(32) if self._tiebreak_rng is not None else 0
+        self._push(
+            (time_ns, self._tiebreak_rng.getrandbits(32), self._seq,
+             handle, fn, args)
         )
-        heapq.heappush(self._queue, (time_ns, jitter, self._seq, handle, fn, args))
         return handle
+
+    def _at_fast_jittered(self, time_ns: int, fn: Callable, *args: Any) -> None:
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time_ns}ns, now is {self.now}ns"
+            )
+        self._seq += 1
+        self._push(
+            (time_ns, self._tiebreak_rng.getrandbits(32), self._seq,
+             None, fn, args)
+        )
 
     def event(self, name: str = "") -> Event:
         """Create a pending :class:`Event`."""
         return Event(self, name=name)
 
-    def timeout(self, delay_ns: int, value: Any = None) -> Event:
-        """An event that succeeds ``delay_ns`` from now."""
-        ev = Event(self, name=f"timeout+{delay_ns}")
-        self.schedule(delay_ns, ev.succeed, value)
+    def timeout(self, delay_ns: int, value: Any = None, name: str = "") -> Event:
+        """An event that succeeds ``delay_ns`` from now.
+
+        The event is unnamed by default -- naming every timeout turned out
+        to be a measurable hot-path allocation (an f-string per call); pass
+        ``name=`` where a debuggable label is worth it.
+        """
+        ev = Event(self, name=name)
+        self.schedule_fast(delay_ns, ev.succeed, value)
         return ev
 
     def process(
@@ -296,12 +514,17 @@ class Simulator:
         """An event that succeeds when the first of ``events`` succeeds.
 
         The value is the ``(event, value)`` pair of the first to resolve.
+        Once the combined event resolves, the watcher detaches from the
+        still-pending losers, so they stop referencing it.
         """
         events = list(events)
         combined = self.event(name="any_of")
 
         def on_fire(ev: Event) -> None:
             if not combined.triggered:
+                for other in events:
+                    if other is not ev:
+                        other.discard_callback(on_fire)
                 if ev.ok:
                     combined.succeed((ev, ev.value))
                 else:
@@ -320,6 +543,7 @@ class Simulator:
             combined.succeed([])
             return combined
         values: list[Any] = [None] * remaining
+        callbacks: list[Callable[[Event], None]] = []
 
         def make_callback(index: int) -> Callable[[Event], None]:
             def on_fire(ev: Event) -> None:
@@ -327,6 +551,11 @@ class Simulator:
                 if combined.triggered:
                     return
                 if not ev.ok:
+                    # One failure resolves the combination; detach from the
+                    # events still pending so they stop referencing it.
+                    for other, cb in zip(events, callbacks):
+                        if other is not ev:
+                            other.discard_callback(cb)
                     combined.fail(ev.value)
                     return
                 values[index] = ev.value
@@ -337,7 +566,9 @@ class Simulator:
             return on_fire
 
         for i, ev in enumerate(events):
-            ev.add_callback(make_callback(i))
+            cb = make_callback(i)
+            callbacks.append(cb)
+            ev.add_callback(cb)
         return combined
 
     # ------------------------------------------------------------------
@@ -353,34 +584,92 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        limit = _FOREVER if until is None else until
+        sched = self._sched
+        pop = sched.pop
+        dispatched = 0
         try:
-            queue = self._queue
-            while queue:
-                time_ns, _jitter, _seq, handle, fn, args = queue[0]
-                if until is not None and time_ns > until:
-                    break
-                heapq.heappop(queue)
-                if handle.cancelled:
-                    continue
-                self.now = time_ns
-                self.stats_events += 1
-                if self._record_trace:
-                    self.trace.append(
-                        (time_ns, getattr(fn, "__qualname__", repr(fn)))
-                    )
-                if self._profile:
-                    key = _profile_key(fn)
-                    t0 = time.perf_counter_ns()  # ctms-lint: disable=CTMS103
-                    fn(*args)
-                    dt = time.perf_counter_ns() - t0  # ctms-lint: disable=CTMS103
-                    self.profile_ns[key] = self.profile_ns.get(key, 0) + dt
-                    self.profile_calls[key] = self.profile_calls.get(key, 0) + 1
-                else:
-                    fn(*args)
+            if self._record_trace or self._profile:
+                self._run_instrumented(pop, limit)
+            elif type(sched) is CalendarScheduler:
+                # Fused dispatch for the default backend: serve the active
+                # bucket by index inline, falling back to pop() only for
+                # bucket refills and day boundaries.  The inline path must
+                # mirror the serve arm of CalendarScheduler.pop(); state is
+                # re-read after every callback because a callback may push
+                # into, compact, or peek at the calendar.
+                while True:
+                    cur = sched._cur
+                    if cur is not None:
+                        idx = sched._idx
+                        if idx < len(cur):
+                            entry = cur[idx]
+                            t = entry[0]
+                            if t <= sched._cap and t <= limit:
+                                sched._idx = idx + 1
+                                handle = entry[3]
+                                if handle is not None and handle.cancelled:
+                                    sched.note_tombstone_popped()
+                                    continue
+                                self.now = t
+                                dispatched += 1
+                                entry[4](*entry[5])
+                                continue
+                    entry = pop(limit)
+                    if entry is None:
+                        break
+                    handle = entry[3]
+                    if handle is not None and handle.cancelled:
+                        sched.note_tombstone_popped()
+                        continue
+                    self.now = entry[0]
+                    dispatched += 1
+                    entry[4](*entry[5])
+            else:
+                while True:
+                    entry = pop(limit)
+                    if entry is None:
+                        break
+                    handle = entry[3]
+                    if handle is not None and handle.cancelled:
+                        sched.note_tombstone_popped()
+                        continue
+                    self.now = entry[0]
+                    dispatched += 1
+                    entry[4](*entry[5])
             if until is not None and self.now < until:
                 self.now = until
         finally:
+            self.stats_events += dispatched
             self._running = False
+
+    def _run_instrumented(self, pop: Callable, limit: int) -> None:
+        """The traced/profiled twin of the fast dispatch loop."""
+        sched = self._sched
+        while True:
+            entry = pop(limit)
+            if entry is None:
+                return
+            handle = entry[3]
+            if handle is not None and handle.cancelled:
+                sched.note_tombstone_popped()
+                continue
+            time_ns, fn, args = entry[0], entry[4], entry[5]
+            self.now = time_ns
+            self.stats_events += 1
+            if self._record_trace:
+                self.trace.append(
+                    (time_ns, getattr(fn, "__qualname__", repr(fn)))
+                )
+            if self._profile:
+                key = _profile_key(fn)
+                t0 = time.perf_counter_ns()  # ctms-lint: disable=CTMS103
+                fn(*args)
+                dt = time.perf_counter_ns() - t0  # ctms-lint: disable=CTMS103
+                self.profile_ns[key] = self.profile_ns.get(key, 0) + dt
+                self.profile_calls[key] = self.profile_calls.get(key, 0) + 1
+            else:
+                fn(*args)
 
     def profile_report(self, top: Optional[int] = None) -> str:
         """Aligned table of profiled dispatch keys, hottest first."""
@@ -403,9 +692,16 @@ class Simulator:
 
     def peek(self) -> Optional[int]:
         """Time of the next non-cancelled entry, or None if the calendar is empty."""
-        while self._queue and self._queue[0][3].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0][0] if self._queue else None
+        sched = self._sched
+        while True:
+            entry = sched.first()
+            if entry is None:
+                return None
+            handle = entry[3]
+            if handle is None or not handle.cancelled:
+                return entry[0]
+            sched.drop_first()
+            sched.note_tombstone_popped()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator now={self.now}ns queued={len(self._queue)}>"
+        return f"<Simulator now={self.now}ns queued={len(self._sched)}>"

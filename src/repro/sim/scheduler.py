@@ -1,0 +1,362 @@
+"""Pluggable event-calendar backends for :class:`~repro.sim.engine.Simulator`.
+
+A backend stores *entries* -- the 6-tuples the simulator builds in
+``schedule()``/``at()``/``schedule_fast()``.  Under the default
+``tiebreak="fifo"`` the unique sequence number sits directly in the
+tie-break slot and the third field is a constant zero::
+
+    (time_ns, seq, 0, handle_or_None, fn, args)
+
+while ``tiebreak="random"`` carries a per-entry jitter draw ahead of the
+sequence number::
+
+    (time_ns, jitter, seq, handle_or_None, fn, args)
+
+The layouts never mix (the tie-break policy is fixed per simulator), and
+either way the first three fields totally order every entry (``seq`` is
+unique), so the ``handle``/``fn``/``args`` tail is never compared.
+Backends only ever read ``entry[0]`` and compare entries as whole tuples.  Two backends exist:
+
+* :class:`HeapScheduler` -- the classic single binary heap (``heapq``).
+  Simple, O(log n) per operation, and the reference for equivalence tests.
+* :class:`CalendarScheduler` -- a calendar-queue/heap hybrid: a ring of
+  fixed-width time buckets covers the near future (ring-rotation, DMA and
+  clock-tick traffic lands here at O(1) per insert), while far timers
+  overflow into a small binary heap and migrate into buckets as the
+  cursor's day window slides forward.  An instant's entries are served
+  straight out of the sorted bucket by index -- draining a same-instant
+  batch touches no heap at all.
+
+Both backends order entries identically, which the golden-trace
+equivalence tests (``tests/sim/test_scheduler_equivalence.py``) pin down:
+the same workload must produce byte-identical ``(time, qualname)`` traces,
+``now`` and ``stats_events`` under either backend.
+
+**Tombstones.**  Cancelling a :class:`~repro.sim.engine.Handle` does not
+remove its entry; the dispatch loop skips it when popped.  Cancellation-
+heavy models (CPU preemption cancels in-flight completions constantly)
+would bloat the queue, so backends count live tombstones and compact --
+rebuild without cancelled entries -- once tombstones outnumber live work.
+
+This module is part of the sim kernel proper: pure, deterministic, and
+stdlib-only.  It is listed with the sanctioned-home boundaries in
+``repro.analysis.rules`` so the whole-program lint treats it, like the
+rest of the kernel, as a trust boundary rather than code to re-derive.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import heapify, heappop, heappush
+from typing import Any, Optional
+
+#: One calendar entry: ``(time_ns, jitter, seq, handle_or_None, fn, args)``.
+Entry = tuple  # structural alias; entries are plain tuples for speed
+
+#: Tombstone count below which compaction is never attempted (small queues
+#: recycle naturally; compacting them would cost more than it saves).
+COMPACT_MIN_TOMBSTONES = 64
+
+
+def _live(entry: Entry) -> bool:
+    handle = entry[3]
+    return handle is None or not handle.cancelled
+
+
+class HeapScheduler:
+    """The reference backend: one binary heap, exactly the classic design."""
+
+    __slots__ = ("_heap", "_tombstones")
+
+    name = "heapq"
+
+    def __init__(self) -> None:
+        self._heap: list[Entry] = []
+        self._tombstones = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, entry: Entry) -> None:
+        heappush(self._heap, entry)
+
+    def pop(self, limit: int) -> Optional[Entry]:
+        """Remove and return the next entry at time <= ``limit``, else None."""
+        heap = self._heap
+        if not heap or heap[0][0] > limit:
+            return None
+        return heappop(heap)
+
+    def first(self) -> Optional[Entry]:
+        """The next entry without removing it (cancelled entries included)."""
+        heap = self._heap
+        return heap[0] if heap else None
+
+    def drop_first(self) -> None:
+        """Remove the entry :meth:`first` returned (tombstone skip in peek)."""
+        heappop(self._heap)
+
+    # -- tombstone accounting -----------------------------------------
+    def note_cancel(self) -> None:
+        self._tombstones += 1
+        if (
+            self._tombstones > COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 > len(self._heap)
+        ):
+            self.compact()
+
+    def note_tombstone_popped(self) -> None:
+        if self._tombstones > 0:
+            self._tombstones -= 1
+
+    def compact(self) -> None:
+        """Drop cancelled entries and restore the heap invariant."""
+        self._heap = [e for e in self._heap if _live(e)]
+        heapify(self._heap)
+        self._tombstones = 0
+
+
+class CalendarScheduler:
+    """Calendar-queue/heap hybrid tuned for the testbed's time distribution.
+
+    Parameters
+    ----------
+    width_bits:
+        log2 of the bucket width in nanoseconds.  The default (24, i.e.
+        ~16.8 ms buckets) was swept on the clean-CTMSP bench: interrupt,
+        DMA and ring traffic cluster densely enough that wide buckets win
+        -- one C ``sort`` per bucket plus index serving beats many narrow
+        buckets' cursor steps, and pushes landing in the bucket being
+        served splice in via C ``bisect.insort``.  Narrower buckets only
+        pay off when per-bucket populations get large enough for insert
+        memmoves to dominate, which this workload is far from.
+    nbuckets:
+        Ring size (power of two).  ``nbuckets << width_bits`` is the *day*:
+        entries due beyond it wait in the overflow heap and migrate into
+        buckets as the day window slides.
+
+    The structure keeps three invariants the correctness argument rests on:
+
+    * the cursor bucket never passes an undispatched entry (scans advance
+      one bucket at a time, draining the overflow heap into each newly
+      exposed bucket, and a bounded ``pop`` that stops early rewinds the
+      cursor to the bound's bucket);
+    * within a bucket, entries are served in sorted ``(time, jitter, seq)``
+      order from an index, and a push landing in the *active* bucket is
+      insorted into the unserved suffix -- exactly where the heap would
+      have put it;
+    * a bucket may briefly hold entries of a later day (after a cursor
+      rewind); serving stops at the first entry whose day differs from the
+      cursor's, so they wait for the next pass instead of running early.
+    """
+
+    __slots__ = (
+        "_wb",
+        "_nb",
+        "_mask",
+        "_buckets",
+        "_cab",
+        "_cap",
+        "_overflow",
+        "_nbucketed",
+        "_cur",
+        "_idx",
+        "_tombstones",
+    )
+
+    name = "calendar"
+
+    def __init__(self, width_bits: int = 24, nbuckets: int = 256) -> None:
+        if width_bits < 0 or nbuckets < 2 or nbuckets & (nbuckets - 1):
+            raise ValueError("need width_bits >= 0 and a power-of-two ring")
+        self._wb = width_bits
+        self._nb = nbuckets
+        self._mask = nbuckets - 1
+        self._buckets: list[list[Entry]] = [[] for _ in range(nbuckets)]
+        #: Cursor: absolute bucket index (time >> width_bits) being served.
+        self._cab = 0
+        #: Last instant of the cursor's day: ``t <= _cap`` is the cheap
+        #: equivalent of ``t >> width_bits == _cab`` on the serve path.
+        self._cap = (1 << width_bits) - 1
+        #: Far timers: entries due at or beyond the current day window.
+        self._overflow: list[Entry] = []
+        #: Entries resident in bucket lists, *including* the active bucket's
+        #: served-but-undeleted prefix; the prefix is settled in bulk when
+        #: the bucket exhausts, keeping per-pop bookkeeping off the hot path.
+        self._nbucketed = 0
+        #: The active (sorted) bucket and the index of its next unserved
+        #: entry; None when the cursor is between buckets.
+        self._cur: Optional[list[Entry]] = None
+        self._idx = 0
+        self._tombstones = 0
+
+    def __len__(self) -> int:
+        pending = self._nbucketed + len(self._overflow)
+        if self._cur is not None:
+            pending -= self._idx
+        return pending
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def push(self, entry: Entry) -> None:
+        ab = entry[0] >> self._wb
+        if ab - self._cab < self._nb:
+            bucket = self._buckets[ab & self._mask]
+            if bucket is self._cur:
+                # Landing in the instant/bucket being drained: insort into
+                # the unserved suffix, preserving (time, jitter, seq) order
+                # without re-sorting what was already served.
+                insort(bucket, entry, self._idx)
+            else:
+                bucket.append(entry)
+            self._nbucketed += 1
+        else:
+            heappush(self._overflow, entry)
+
+    # ------------------------------------------------------------------
+    # service
+    # ------------------------------------------------------------------
+    def pop(self, limit: int) -> Optional[Entry]:
+        """Remove and return the next entry at time <= ``limit``, else None."""
+        cur = self._cur
+        if cur is not None:
+            idx = self._idx
+            if idx < len(cur):
+                entry = cur[idx]
+                # Same-bucket batch: serve by index.  Stop at the bound or
+                # at an entry belonging to a later day (cursor rewinds can
+                # leave those in the bucket; they sort past _cap).
+                t = entry[0]
+                if t <= self._cap:
+                    if t <= limit:
+                        self._idx = idx + 1
+                        return entry
+                    return None
+            # Bucket exhausted for this day: settle the served prefix in
+            # bulk, keep any later-day stragglers for the next pass.
+            idx = self._idx
+            if idx:
+                del cur[:idx]
+                self._nbucketed -= idx
+                self._idx = 0
+            self._cur = None
+        return self._scan(limit)
+
+    def _scan(self, limit: int) -> Optional[Entry]:
+        """Advance the cursor to the next non-empty bucket and serve it."""
+        wb = self._wb
+        nb = self._nb
+        mask = self._mask
+        buckets = self._buckets
+        overflow = self._overflow
+        cab = self._cab
+        limit_ab = limit >> wb
+        while True:
+            # Slide the day window: far timers now inside it join buckets.
+            horizon = (cab + nb) << wb
+            while overflow and overflow[0][0] < horizon:
+                entry = heappop(overflow)
+                buckets[(entry[0] >> wb) & mask].append(entry)
+                self._nbucketed += 1
+            bucket = buckets[cab & mask]
+            if bucket:
+                bucket.sort()
+                first = bucket[0]
+                if first[0] >> wb == cab:
+                    if first[0] > limit:
+                        # Today's earliest entry is beyond the bound: stop,
+                        # and rewind the cursor so entries scheduled after
+                        # this (bounded) run still land ahead of it.
+                        self._cab = min(cab, limit_ab)
+                        return None
+                    self._cab = cab
+                    self._cap = ((cab + 1) << wb) - 1
+                    self._cur = bucket
+                    self._idx = 1
+                    return first
+                # Only later-day stragglers here; fall through and advance.
+            if self._nbucketed == 0:
+                if not overflow:
+                    # Empty calendar: park the cursor at the bound.
+                    self._cab = min(cab, limit_ab) if limit_ab >= self._cab else self._cab
+                    return None
+                # Nothing in the window at all: jump straight to the
+                # overflow's day instead of stepping bucket by bucket.
+                cab = max(cab + 1, (overflow[0][0] >> wb) - nb + 1)
+                continue
+            if cab >= limit_ab:
+                self._cab = limit_ab
+                return None
+            cab += 1
+
+    def first(self) -> Optional[Entry]:
+        """The next entry without removing it (cancelled entries included)."""
+        entry = self.pop((1 << 62))
+        if entry is not None:
+            # pop() only advanced the index; the entry is still in the list.
+            self._idx -= 1
+        return entry
+
+    def drop_first(self) -> None:
+        """Remove the entry :meth:`first` returned (tombstone skip in peek)."""
+        self._idx += 1
+
+    # -- tombstone accounting -----------------------------------------
+    def note_cancel(self) -> None:
+        self._tombstones += 1
+        if (
+            self._tombstones > COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 > len(self)
+        ):
+            self.compact()
+
+    def note_tombstone_popped(self) -> None:
+        if self._tombstones > 0:
+            self._tombstones -= 1
+
+    def compact(self) -> None:
+        """Rebuild buckets and overflow without cancelled entries."""
+        cur = self._cur
+        if cur is not None:
+            # The served prefix was already dispatched; drop it before the
+            # rebuild or those entries would run twice.
+            del cur[:self._idx]
+            self._cur = None
+            self._idx = 0
+        entries: list[Entry] = []
+        for bucket in self._buckets:
+            entries.extend(e for e in bucket if _live(e))
+            bucket.clear()
+        entries.extend(e for e in self._overflow if _live(e))
+        self._overflow = []
+        self._nbucketed = 0
+        self._tombstones = 0
+        for entry in entries:
+            self.push(entry)
+
+
+#: Recognised ``Simulator(scheduler=...)`` names, default first.
+SCHEDULER_FACTORIES: dict[str, Any] = {
+    "calendar": CalendarScheduler,
+    "heapq": HeapScheduler,
+}
+
+
+def make_scheduler(spec: Any) -> Any:
+    """Resolve a ``Simulator(scheduler=...)`` argument to a backend.
+
+    ``spec`` may be a recognised name (``"calendar"``, ``"heapq"``) or an
+    already-constructed backend instance (anything with ``push``/``pop``).
+    """
+    if isinstance(spec, str):
+        try:
+            return SCHEDULER_FACTORIES[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown scheduler {spec!r}; expected one of "
+                f"{tuple(SCHEDULER_FACTORIES)} or a backend instance"
+            ) from None
+    if hasattr(spec, "push") and hasattr(spec, "pop"):
+        return spec
+    raise ValueError(f"not a scheduler backend: {spec!r}")

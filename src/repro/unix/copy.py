@@ -18,7 +18,7 @@ from repro.hardware.cpu import Exec
 from repro.hardware.memory import Region, cpu_copy_cost
 
 
-@dataclass
+@dataclass(slots=True)
 class CopyRecord:
     """Aggregate for one (kind, source, destination) copy edge."""
 
@@ -33,13 +33,19 @@ class CopyLedger:
     cpu: dict[tuple[Region, Region], CopyRecord] = field(default_factory=dict)
     dma: dict[tuple[Region, Region], CopyRecord] = field(default_factory=dict)
 
+    # The recorders run once per simulated copy; .get avoids setdefault's
+    # unconditional CopyRecord() construction on the all-hits steady state.
     def record_cpu(self, src: Region, dst: Region, nbytes: int) -> None:
-        rec = self.cpu.setdefault((src, dst), CopyRecord())
+        rec = self.cpu.get((src, dst))
+        if rec is None:
+            rec = self.cpu[(src, dst)] = CopyRecord()
         rec.copies += 1
         rec.bytes += nbytes
 
     def record_dma(self, src: Region, dst: Region, nbytes: int) -> None:
-        rec = self.dma.setdefault((src, dst), CopyRecord())
+        rec = self.dma.get((src, dst))
+        if rec is None:
+            rec = self.dma[(src, dst)] = CopyRecord()
         rec.copies += 1
         rec.bytes += nbytes
 

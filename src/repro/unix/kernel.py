@@ -24,6 +24,10 @@ from repro.sim.units import SEC, US
 from repro.unix.copy import CopyLedger
 from repro.unix.mbuf import MbufPool
 
+#: hardclock()'s fixed bookkeeping cost; Exec ops are immutable, so the
+#: 100 Hz tick shares one instance instead of allocating per interrupt.
+_EXEC_HARDCLOCK = Exec(25 * US)
+
 
 class Kernel:
     """One machine's UNIX kernel.
@@ -79,7 +83,7 @@ class Kernel:
         if self._running:
             return
         self._running = True
-        self.sim.schedule(calibration.CLOCK_TICK, self._clock_tick)
+        self.sim.schedule_fast(calibration.CLOCK_TICK, self._clock_tick)
         if self.noise_rate_per_sec > 0:
             self._schedule_noise()
 
@@ -96,12 +100,12 @@ class Kernel:
         self.cpu.raise_irq(
             calibration.SPL_CLOCK, self._clock_handler, name="clock"
         )
-        self.sim.schedule(calibration.CLOCK_TICK, self._clock_tick)
+        self.sim.schedule_fast(calibration.CLOCK_TICK, self._clock_tick)
 
     def _clock_handler(self) -> Generator:
         # hardclock(): timer bookkeeping, then request a resched so the run
         # queue round-robins on the 10ms quantum.
-        yield Exec(25 * US)
+        yield _EXEC_HARDCLOCK
         self.cpu.preempt_base_round_robin()
 
     # ------------------------------------------------------------------
@@ -109,7 +113,7 @@ class Kernel:
     # ------------------------------------------------------------------
     def _schedule_noise(self) -> None:
         gap = self._noise_rng.expovariate(self.noise_rate_per_sec / SEC)
-        self.sim.schedule(max(1, round(gap)), self._noise_episode)
+        self.sim.schedule_fast(max(1, round(gap)), self._noise_episode)
 
     def _noise_episode(self) -> None:
         if not self._running:
@@ -149,13 +153,13 @@ class Kernel:
                 ),
             )
 
-        def body() -> Generator:
-            old = yield SetSpl(spl)
-            yield Exec(length)
-            yield SetSpl(old)
-
-        self.cpu.raise_irq(irq_level, body, name="kernel-noise")
+        self.cpu.raise_irq(irq_level, self._noise_body, "kernel-noise", spl, length)
         self._schedule_noise()
+
+    def _noise_body(self, spl: int, length: int) -> Generator:
+        old = yield SetSpl(spl)
+        yield Exec(length)
+        yield SetSpl(old)
 
     # ------------------------------------------------------------------
     # sleep / wakeup

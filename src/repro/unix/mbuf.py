@@ -164,6 +164,46 @@ class MbufPool:
         """
         if nbytes <= 0:
             raise ValueError("empty chain requested")
+        # Bulk fast path: the buffer mix is fully determined by nbytes
+        # (clusters while more than a small mbuf remains, then one small
+        # tail), so when the pool can cover it we decrement the free counts
+        # once and build the chain directly instead of looping through
+        # try_alloc and re-scanning the chain in append_data.  The slow loop
+        # below stays as the fallback so exhaustion keeps its exact
+        # failure-accounting and rollback semantics.
+        if nbytes > MBUF_DATA_BYTES:
+            nclusters = (nbytes - MBUF_DATA_BYTES - 1) // CLUSTER_DATA_BYTES + 1
+            nsmall = 1 if nbytes > nclusters * CLUSTER_DATA_BYTES else 0
+        else:
+            nclusters = 0
+            nsmall = 1
+        if self._cluster_free >= nclusters and self._small_free >= nsmall:
+            self._cluster_free -= nclusters
+            self._small_free -= nsmall
+            in_use = self.cluster_count - self._cluster_free
+            if in_use > self.peak_cluster_in_use:
+                self.peak_cluster_in_use = in_use
+            in_use = self.small_count - self._small_free
+            if in_use > self.peak_small_in_use:
+                self.peak_small_in_use = in_use
+            self.stats_allocs += nclusters + nsmall
+            mbufs = []
+            remaining = nbytes
+            for _ in range(nclusters):
+                m = Mbuf(self, True)
+                take = (
+                    CLUSTER_DATA_BYTES
+                    if remaining >= CLUSTER_DATA_BYTES
+                    else remaining
+                )
+                m.length = take
+                remaining -= take
+                mbufs.append(m)
+            if nsmall:
+                m = Mbuf(self, False)
+                m.length = remaining
+                mbufs.append(m)
+            return MbufChain(mbufs)
         grabbed: list[Mbuf] = []
         try:
             remaining = nbytes

@@ -74,7 +74,7 @@ class LightweightSender:
 
     def _schedule_next(self) -> None:
         gap = max(1, round(self._rng.expovariate(self.rate / SEC)))
-        self.sim.schedule(gap, self._emit)
+        self.sim.schedule_fast(gap, self._emit)
 
     def _emit(self) -> None:
         if not self._running:

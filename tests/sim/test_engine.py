@@ -271,6 +271,36 @@ def test_all_of_empty_succeeds_immediately():
     assert done == [[]]
 
 
+def test_any_of_detaches_from_losers():
+    # Regression: losing events used to keep their on_fire callbacks (and
+    # through them the combined event) alive forever.  Once the winner
+    # resolves, the still-pending losers must hold no watcher callbacks.
+    sim = Simulator()
+    winner = sim.timeout(10)
+    losers = [sim.event(name=f"loser-{i}") for i in range(3)]
+    combined = sim.any_of([winner] + losers)
+    sim.run()
+    assert combined.triggered and combined.ok
+    for loser in losers:
+        assert not loser.triggered
+        assert loser._callbacks == []
+
+
+def test_all_of_detaches_on_failure():
+    # Same leak on the all_of failure path: one failure resolves the
+    # combination, so the events still pending must drop their callbacks.
+    sim = Simulator()
+    doomed = sim.event(name="doomed")
+    pending = [sim.event(name=f"pending-{i}") for i in range(3)]
+    combined = sim.all_of([doomed] + pending)
+    sim.schedule(5, doomed.fail, RuntimeError("boom"))
+    sim.run()
+    assert combined.triggered and not combined.ok
+    for ev in pending:
+        assert not ev.triggered
+        assert ev._callbacks == []
+
+
 def test_peek_skips_cancelled():
     sim = Simulator()
     h = sim.schedule(5, lambda: None)
