@@ -22,10 +22,13 @@ lint:
 lint-v2:
 	$(PYTHON) -m repro lint src/repro --v2 --baseline lint-baseline.json
 
-# The chaos smoke campaign on its own (also part of the default test run,
-# via tests/experiments/test_chaos.py).
+# The chaos smoke campaigns on their own: fault survival, then the
+# control-plane failover scenario.  Both are also part of the default
+# test run behind the `chaos` pytest marker (tests/experiments/
+# test_chaos.py, test_failover.py); `pytest -m "not chaos"` skips them.
 chaos:
 	$(PYTHON) -m repro chaos --smoke
+	$(PYTHON) -m repro chaos --scenario failover --smoke
 
 # The supervised parallel fleet: 4 seeds sharded over 4 workers, results
 # journalled under .fleet/ (resume a killed run with --resume).

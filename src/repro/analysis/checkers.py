@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.analysis.findings import Finding
 from repro.analysis.rules import (
+    CONTROL_POLICY_NAMES,
     GLOBAL_RANDOM_FUNCTIONS,
     PROCESS_MACHINERY_MODULES,
     RULES,
@@ -108,10 +109,15 @@ def _launders_to_int(node: ast.expr) -> bool:
 
 
 class DeterminismVisitor(ast.NodeVisitor):
-    """Single-pass checker for CTMS101/102/103/104/105/201/303."""
+    """Single-pass checker for CTMS101/102/103/104/105/201/303/304."""
 
     def __init__(
-        self, path: str, *, rng_home: bool = False, process_home: bool = False
+        self,
+        path: str,
+        *,
+        rng_home: bool = False,
+        process_home: bool = False,
+        control_home: bool = False,
     ) -> None:
         self.path = path
         #: True for repro/sim/rng.py, the one sanctioned home of raw
@@ -121,6 +127,9 @@ class DeterminismVisitor(ast.NodeVisitor):
         #: process machinery and host clocks (CTMS103/303 are off there --
         #: a supervisor cannot time out a hung worker on simulated time).
         self.process_home = process_home
+        #: True for repro/core/control.py, the one sanctioned home of
+        #: control-plane policy decisions (CTMS304 is off there).
+        self.control_home = control_home
         self.findings: list[Finding] = []
         self._random_aliases: set[str] = set()
         self._time_aliases: set[str] = set()
@@ -170,6 +179,28 @@ class DeterminismVisitor(ast.NodeVisitor):
             node,
             f"`{top_module}` imported outside the fleet supervisor "
             "(repro/experiments/fleet.py)",
+        )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_control_policy(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_control_policy(node)
+        self.generic_visit(node)
+
+    def _check_control_policy(self, node: ast.AST) -> None:
+        """CTMS304: policy decisions outside the session control plane."""
+        name = getattr(node, "name", "")
+        if self.control_home or name not in CONTROL_POLICY_NAMES:
+            return
+        anchored = ast.copy_location(ast.Pass(), node)
+        anchored.lineno = def_anchor_line(node)
+        self._emit(
+            "CTMS304",
+            anchored,
+            f"control-plane policy `{name}` defined outside "
+            "repro/core/control.py",
         )
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:

@@ -43,6 +43,11 @@ _PROCESS_HOME_SUFFIXES = (
     "repro/sim/scheduler.py",
 )
 
+#: ...and the one sanctioned home of control-plane policy decisions
+#: (CTMS304 off there): admission, placement, shedding, and failover
+#: policy live in the session control plane, nowhere else.
+_CONTROL_HOME_SUFFIX = "repro/core/control.py"
+
 
 def suppressed_rules_by_line(source: str) -> dict[int, set[str]]:
     """Map line number -> rule IDs disabled by an inline comment there."""
@@ -137,6 +142,10 @@ def is_process_home(path: str) -> bool:
     return path.replace("\\", "/").endswith(_PROCESS_HOME_SUFFIXES)
 
 
+def is_control_home(path: str) -> bool:
+    return path.replace("\\", "/").endswith(_CONTROL_HOME_SUFFIX)
+
+
 def raw_findings(tree: ast.AST, path: str) -> list[Finding]:
     """Per-file findings for one parsed module, before suppressions.
 
@@ -148,6 +157,7 @@ def raw_findings(tree: ast.AST, path: str) -> list[Finding]:
         path,
         rng_home=is_rng_home(path),
         process_home=is_process_home(path),
+        control_home=is_control_home(path),
     )
     visitor.visit(tree)
     return visitor.findings + check_layering(tree, path)

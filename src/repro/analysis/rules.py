@@ -147,6 +147,17 @@ RULES: dict[str, Rule] = {
             "repro/bench/harness.py -- keep every other module on the "
             "simulated clock, single-process",
         ),
+        Rule(
+            id="CTMS304",
+            name="control-plane-confinement",
+            severity=ERROR,
+            summary="control-plane policy decision defined outside "
+            "repro/core/control.py",
+            hint="admission, placement, shedding, and failover policy "
+            "(decide_admission/select_server/select_victims/plan_failover) "
+            "live only in repro/core/control.py -- experiments and drivers "
+            "consume decisions, they never make them",
+        ),
     )
 }
 
@@ -267,6 +278,15 @@ WALL_CLOCK_DATETIME_METHODS: frozenset[str] = frozenset({"now", "utcnow", "today
 #: by design).
 PROCESS_MACHINERY_MODULES: frozenset[str] = frozenset(
     {"multiprocessing", "concurrent", "subprocess", "threading", "signal"}
+)
+
+#: Method/function names that *are* control-plane policy.  CTMS304 confines
+#: their definition to ``repro/core/control.py`` (the session control
+#: plane's sanctioned home): a second ``decide_admission`` in an experiment
+#: forks the policy, and "which admission rule produced this campaign?"
+#: stops having one answer.
+CONTROL_POLICY_NAMES: frozenset[str] = frozenset(
+    {"decide_admission", "select_server", "select_victims", "plan_failover"}
 )
 
 # ----------------------------------------------------------------------

@@ -147,6 +147,8 @@ def _cmd_ablate(args) -> int:
 def _cmd_chaos(args) -> int:
     from repro.experiments.chaos import run_campaign, run_smoke
 
+    if getattr(args, "scenario", "survival") == "failover":
+        return _cmd_chaos_failover(args)
     if args.jobs >= 1 or args.seeds > 1 or args.resume:
         from repro.experiments.fleet import chaos_fleet_spec
 
@@ -172,6 +174,31 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_chaos_failover(args) -> int:
+    """The control-plane scenario: admission + shedding + failover."""
+    from repro.experiments.failover import (
+        run_failover_campaign,
+        run_failover_smoke,
+    )
+
+    if args.jobs >= 1 or args.seeds > 1 or args.resume:
+        from repro.experiments.fleet import failover_fleet_spec
+
+        spec = failover_fleet_spec(
+            seeds=range(args.seed, args.seed + args.seeds),
+            duration_ns=args.seconds * SEC,
+        )
+        return _run_fleet_cli(spec, args)
+    if args.smoke:
+        report = run_failover_smoke(seed=args.seed)
+    else:
+        report = run_failover_campaign(
+            seed=args.seed, duration_ns=args.seconds * SEC
+        )
+    print(report.render())
+    return 0
+
+
 def _resume_command(args) -> str:
     """The exact invocation that continues this campaign after a kill."""
     parts = [
@@ -181,6 +208,8 @@ def _resume_command(args) -> str:
         f"--seed {args.seed}",
         f"--seconds {args.seconds}",
     ]
+    if getattr(args, "scenario", "survival") != "survival":
+        parts.append(f"--scenario {args.scenario}")
     if getattr(args, "intensities", None):
         parts.append(
             "--intensities " + " ".join(f"{i:g}" for i in args.intensities)
@@ -631,6 +660,13 @@ def build_parser() -> argparse.ArgumentParser:
                 help="machine-readable registry dump",
             )
         if name == "chaos":
+            p.add_argument(
+                "--scenario",
+                choices=["survival", "failover"],
+                default="survival",
+                help="survival: one stream vs fault weather; failover: "
+                "the session control plane vs a server crash",
+            )
             p.add_argument(
                 "--smoke",
                 action="store_true",

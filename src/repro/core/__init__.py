@@ -17,10 +17,20 @@ downstream user touches to move continuous-time media across the ring:
   paper wished for);
 * :mod:`~repro.core.buffering` -- playout buffer sizing (the Section 6
   "under 25KBytes" conclusion) and a playout simulator with glitch
-  detection.
+  detection;
+* :mod:`~repro.core.control` -- the session control plane: bandwidth-ledger
+  admission control, watermark overload shedding, and mid-stream server
+  failover (the sanctioned home of all control-plane policy decisions).
 """
 
 from repro.core.buffering import PlayoutBuffer, required_buffer_bytes
+from repro.core.control import (
+    BandwidthLedger,
+    ControlPlaneConfig,
+    FailoverRecord,
+    ManagedSession,
+    SessionControlPlane,
+)
 from repro.core.ctmsp import (
     CTMSP_HEADER_BYTES,
     CTMSP_RING_PRIORITY,
@@ -32,13 +42,18 @@ from repro.core.session import CTMSSession
 from repro.core.stream import StreamStats
 
 __all__ = [
+    "BandwidthLedger",
     "CTMSP_HEADER_BYTES",
     "CTMSP_RING_PRIORITY",
     "CTMSPPacket",
     "CTMSSession",
+    "ControlPlaneConfig",
+    "FailoverRecord",
+    "ManagedSession",
     "PlayoutBuffer",
     "PresentationMachine",
     "SequenceTracker",
+    "SessionControlPlane",
     "StreamStats",
     "required_buffer_bytes",
 ]

@@ -93,3 +93,15 @@ class SequenceTracker:
         """Fraction of the stream lost so far."""
         total = self.delivered + self.lost_packets
         return self.lost_packets / total if total else 0.0
+
+    def resume_point(self) -> int:
+        """The packet number a replacement source should resume at.
+
+        This is the high-water mark plus one (``next_expected``): a failover
+        replica that continues numbering here splices onto the stream with
+        no artificial gap and no duplicate storm.  Packets the dead source
+        transmitted but the ring never delivered stay accounted as lost --
+        the failover glitch is visible, bounded, and honest.  Zero before
+        the first arrival.
+        """
+        return 0 if self.next_expected is None else self.next_expected

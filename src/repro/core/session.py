@@ -72,12 +72,24 @@ class CTMSSession:
     ----------
     source_kernel, sink_kernel:
         The two machines' kernels.
+    source_vca_device, sink_vca_device:
+        Per-side VCA device names; default to ``vca_device`` on both sides.
+        A media server exposing several replica slots (``vca0``..``vcaN``)
+        binds each session to its own source slot while every presentation
+        machine keeps its single ``vca0`` sink.
     setup_timeout_ns:
         Overall deadline for the setup handshake.
     setup_max_attempts:
         Maximum ``setup-req`` transmissions before giving up.
     setup_backoff_ns:
         First retry wait; doubles per attempt up to ``setup_backoff_cap_ns``.
+    resume_from:
+        When set, the source continues packet numbering at this value (the
+        sink tracker's high-water mark) instead of zero -- the failover
+        resume path.
+    align_start:
+        Start the source DSP timer on a tick grid rebased at the current
+        instant (a mid-run replica start) instead of the boot-time grid.
     """
 
     def __init__(
@@ -86,10 +98,14 @@ class CTMSSession:
         sink_kernel: Kernel,
         vca_device: str = "vca0",
         tr_device: str = "tr0",
+        source_vca_device: Optional[str] = None,
+        sink_vca_device: Optional[str] = None,
         setup_timeout_ns: int = 1 * SEC,
         setup_max_attempts: int = 8,
         setup_backoff_ns: int = 10 * MS,
         setup_backoff_cap_ns: int = 80 * MS,
+        resume_from: Optional[int] = None,
+        align_start: bool = False,
     ) -> None:
         if setup_timeout_ns <= 0 or setup_max_attempts <= 0:
             raise ValueError("setup timeout and attempts must be positive")
@@ -98,7 +114,11 @@ class CTMSSession:
         self.source_kernel = source_kernel
         self.sink_kernel = sink_kernel
         self.vca_device = vca_device
+        self.source_vca_device = source_vca_device or vca_device
+        self.sink_vca_device = sink_vca_device or vca_device
         self.tr_device = tr_device
+        self.resume_from = resume_from
+        self.align_start = align_start
         self.setup_timeout_ns = setup_timeout_ns
         self.setup_max_attempts = setup_max_attempts
         self.setup_backoff_ns = setup_backoff_ns
@@ -120,7 +140,7 @@ class CTMSSession:
         self.established = sim.event(name="ctms-established")
         ack = sim.event(name="ctms-setup-ack")
 
-        sink_vca: "VCADriver" = self.sink_kernel.device(self.vca_device)
+        sink_vca: "VCADriver" = self.sink_kernel.device(self.sink_vca_device)
         sink_tr: "TokenRingDriver" = self.sink_kernel.device(self.tr_device)
         source_tr: "TokenRingDriver" = self.source_kernel.device(self.tr_device)
         session_id = self._session_id
@@ -147,6 +167,12 @@ class CTMSSession:
             )
             yield from sink_tr.output(None, reply)
 
+        # A media server carries several sessions through one Token Ring
+        # driver, so concurrent establishments must not clobber each other's
+        # control handler: each session's handler consumes its own acks and
+        # delegates everything else down the chain it found installed.
+        chained_control = source_tr.control_input
+
         def source_control(frame: Frame) -> Generator:
             msg = frame.payload
             yield Exec(10 * US)
@@ -154,13 +180,15 @@ class CTMSSession:
                 isinstance(msg, dict)
                 and msg.get("session") == session_id
                 and msg.get("op") == "setup-ack"
-                and not ack.triggered
             ):
-                ack.succeed(msg)
+                if not ack.triggered:
+                    ack.succeed(msg)
+            elif chained_control is not None:
+                yield from chained_control(frame)
 
         def sink_setup(proc: UserProcess) -> Generator:
             yield from proc.ioctl(
-                self.vca_device, "CTMS_ATTACH_SINK", {"tr_driver": sink_tr}
+                self.sink_vca_device, "CTMS_ATTACH_SINK", {"tr_driver": sink_tr}
             )
             # Only now -- with the data-path handles in place -- does the
             # sink start answering setup requests, so a stream can never
@@ -190,18 +218,20 @@ class CTMSSession:
                 yield sim.any_of([ack, sim.timeout(wait)])
                 backoff = min(backoff * 2, self.setup_backoff_cap_ns)
             msg: dict = ack.value
+            bind_arg = {
+                "tr_driver": source_tr,
+                "dst": sink_tr.adapter.address,
+                "dst_device": msg.get("dst_device", sink_vca.device_number),
+            }
+            if self.resume_from is not None:
+                bind_arg["start_packet_no"] = self.resume_from
             yield from proc.ioctl(
-                self.vca_device,
-                "CTMS_BIND",
-                {
-                    "tr_driver": source_tr,
-                    "dst": sink_tr.adapter.address,
-                    "dst_device": msg.get(
-                        "dst_device", sink_vca.device_number
-                    ),
-                },
+                self.source_vca_device, "CTMS_BIND", bind_arg
             )
-            yield from proc.ioctl(self.vca_device, "CTMS_START")
+            start_arg = {"align_to_now": True} if self.align_start else None
+            yield from proc.ioctl(
+                self.source_vca_device, "CTMS_START", start_arg
+            )
             self.established.succeed()
 
         UserProcess(self.sink_kernel, "ctms-sink-setup").start(sink_setup)
@@ -220,7 +250,9 @@ class CTMSSession:
 
     def stop(self) -> None:
         """Halt the source's DSP timer (streaming ceases)."""
-        source_vca: "VCADriver" = self.source_kernel.device(self.vca_device)
+        source_vca: "VCADriver" = self.source_kernel.device(
+            self.source_vca_device
+        )
         source_vca.adapter.stop()
 
     # ------------------------------------------------------------------
@@ -229,10 +261,10 @@ class CTMSSession:
     @property
     def stats(self) -> StreamStats:
         """Sink-side delivery statistics."""
-        sink_vca: "VCADriver" = self.sink_kernel.device(self.vca_device)
+        sink_vca: "VCADriver" = self.sink_kernel.device(self.sink_vca_device)
         return sink_vca.stream_stats
 
     @property
     def sink_tracker(self):
-        sink_vca: "VCADriver" = self.sink_kernel.device(self.vca_device)
+        sink_vca: "VCADriver" = self.sink_kernel.device(self.sink_vca_device)
         return sink_vca.tracker

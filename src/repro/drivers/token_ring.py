@@ -220,7 +220,12 @@ class TokenRingDriver:
         """
         old = yield RaiseSpl(calibration.SPL_NET)
         job = _TxJob(chain, frame, self.sim.now)
-        if frame.protocol == "ctmsp" and self.config.ctmsp_priority_queueing:
+        # Session-control frames (setup request/ack) ride the CTMSP queue:
+        # they already carry the CTMSP ring priority on the wire, and host
+        # queueing must match or a standing media backlog starves connection
+        # setup behind hundreds of milliseconds of data frames.
+        is_ctms = frame.protocol in ("ctmsp", CTMS_CONTROL_PROTOCOL)
+        if is_ctms and self.config.ctmsp_priority_queueing:
             self._ctmsp_q.append(job)
         else:
             self._llc_q.append(job)

@@ -150,7 +150,9 @@ class VCADriver:
             return self._ioctl_attach_sink(arg)
         if op == "CTMS_START":
             self.adapter.attach_handler(self._source_interrupt_handler)
-            self.adapter.start()
+            self.adapter.start(
+                align_to_now=bool(arg and arg.get("align_to_now"))
+            )
             return True
         if op == "CTMS_STOP":
             self.adapter.stop()
@@ -177,6 +179,13 @@ class VCADriver:
             src=tr_driver.adapter.address, dst=arg["dst"]
         )
         self._dst_device = arg.get("dst_device", 0)
+        start_packet_no = arg.get("start_packet_no")
+        if start_packet_no is not None:
+            # Failover resume: a replica source continues the stream's
+            # packet numbering from the sink's high-water mark instead of
+            # restarting at zero (which the sink would record as a flood of
+            # duplicates and a reorder storm).
+            self._next_packet_no = int(start_packet_no)
         return self.header
 
     def _ioctl_attach_sink(self, arg: dict) -> bool:

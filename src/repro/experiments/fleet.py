@@ -58,7 +58,7 @@ from repro.sim.units import SEC, from_sec, to_ms
 JOURNAL_VERSION = 1
 
 #: Campaign kinds the fleet knows how to run.
-KINDS = ("chaos", "ablation", "validation")
+KINDS = ("chaos", "ablation", "validation", "failover")
 
 
 # ----------------------------------------------------------------------
@@ -234,6 +234,64 @@ def validation_fleet_spec(
     )
 
 
+def failover_fleet_spec(
+    seeds: list[int] | range,
+    duration_ns: int = 6 * SEC,
+    modes: Optional[tuple[str, ...]] = None,
+) -> FleetSpec:
+    """The control-plane failover campaign over a seed population.
+
+    One point per (mode, seed): every mode faces the identical churn and
+    the identical mid-run server crash, so the per-seed triple renders a
+    direct survival comparison.
+    """
+    from repro.experiments.failover import (
+        MODES,
+        build_churn,
+        build_crash_plan,
+    )
+
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("failover fleet needs at least one seed")
+    mode_list = tuple(modes) if modes else MODES
+    churn_hash = build_churn(duration_ns).stable_hash()
+    plan_hash = build_crash_plan(duration_ns).stable_hash()
+    points: list[FleetPoint] = []
+    for seed in seeds:
+        for mode in mode_list:
+            task_hash = f"{plan_hash}.{churn_hash}.{mode}"
+            points.append(
+                FleetPoint(
+                    kind="failover",
+                    key=f"{task_hash}:{seed}",
+                    task_hash=task_hash,
+                    seed=seed,
+                    profile=mode,
+                    params={
+                        "mode": mode,
+                        "seed": seed,
+                        "duration_ns": duration_ns,
+                    },
+                    label=f"failover mode {mode} seed {seed}",
+                    replay=(
+                        f"python -m repro chaos --scenario failover "
+                        f"--seed {seed} "
+                        f"--seconds {max(1, duration_ns // SEC)}"
+                    ),
+                )
+            )
+    return FleetSpec(
+        kind="failover",
+        points=points,
+        meta={
+            "seeds": seeds,
+            "duration_ns": duration_ns,
+            "modes": list(mode_list),
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # point runners (executed inside workers -- must import lazily enough to
 # stay cheap, and must return JSON-safe dicts)
@@ -270,10 +328,20 @@ def _run_validation_point(params: dict[str, Any]) -> dict[str, Any]:
     return {"seed": params["seed"], **result.as_dict()}
 
 
+def _run_failover_point(params: dict[str, Any]) -> dict[str, Any]:
+    from repro.experiments.failover import run_failover_one
+
+    run = run_failover_one(
+        params["mode"], params["seed"], params["duration_ns"]
+    )
+    return run.as_dict()
+
+
 _POINT_RUNNERS: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
     "chaos": _run_chaos_point,
     "ablation": _run_ablation_point,
     "validation": _run_validation_point,
+    "failover": _run_failover_point,
 }
 
 
@@ -381,16 +449,19 @@ class Journal:
         header: dict[str, Any] = {}
         records: dict[str, dict[str, Any]] = {}
         telemetry: list[dict[str, Any]] = []
-        with open(path) as fh:
-            for i, line in enumerate(fh):
-                if not line.endswith("\n"):
+        # Binary reads, decoded per line: a tail torn *inside* a multi-byte
+        # UTF-8 sequence must skip that line, not blow up the whole load
+        # with a UnicodeDecodeError the way a text-mode stream would.
+        with open(path, "rb") as fh:
+            for i, raw in enumerate(fh):
+                if not raw.endswith(b"\n"):
                     # A complete record is exactly one newline-terminated
                     # line; a flushed-but-unfinished tail may parse as
                     # valid JSON (e.g. a number) and must not count.
                     continue
                 try:
-                    obj = json.loads(line)
-                except json.JSONDecodeError:
+                    obj = json.loads(raw.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
                     continue  # torn tail from a mid-write kill
                 if not isinstance(obj, dict):
                     continue
@@ -793,10 +864,75 @@ def _render_validation(
     return table + f"\n\nagreement: {agree}/{total} seeds"
 
 
+def _render_failover(
+    spec: FleetSpec, results: dict[str, dict[str, Any]]
+) -> str:
+    from repro.experiments.failover import FailoverRun
+
+    modes = spec.meta["modes"]
+    duration_ns = spec.meta["duration_ns"]
+    lines = [
+        "Fleet failover chaos: control modes vs a mid-campaign crash",
+        f"{len(spec.meta['seeds'])} seed(s), {duration_ns / SEC:.3f} s "
+        f"per run, crash at {duration_ns / 2 / SEC:.3f} s",
+        "",
+    ]
+    rows = []
+    totals = {mode: [0, 0] for mode in modes}  # survived, admitted
+    for point in spec.points:
+        record = results.get(point.key)
+        if record is None:
+            continue
+        run = FailoverRun.from_dict(record["result"])
+        admitted = run.admitted()
+        totals[run.mode][0] += run.survived_count()
+        totals[run.mode][1] += len(admitted)
+        stranded = sum(
+            1 for s in admitted if not s.survived()
+        )
+        rows.append(
+            [
+                str(run.seed),
+                run.mode,
+                str(len(run.sessions)),
+                str(len(admitted)),
+                run.survival_line(),
+                str(stranded),
+                str(sum(s.failovers for s in run.sessions)),
+                str(sum(s.lost_packets for s in run.sessions)),
+            ]
+        )
+    lines.append(
+        format_table(
+            "per-seed survival",
+            [
+                "seed",
+                "mode",
+                "requests",
+                "admitted",
+                "survived",
+                "lost streams",
+                "failovers",
+                "lost pkts",
+            ],
+            rows,
+        )
+    )
+    lines.append("")
+    lines.append(
+        "admitted sessions surviving: "
+        + ", ".join(
+            f"{mode} {totals[mode][0]}/{totals[mode][1]}" for mode in modes
+        )
+    )
+    return "\n".join(lines)
+
+
 _RENDERERS: dict[str, Callable[[FleetSpec, dict], str]] = {
     "chaos": _render_chaos,
     "ablation": _render_ablation,
     "validation": _render_validation,
+    "failover": _render_failover,
 }
 
 
@@ -1262,6 +1398,11 @@ def fleet_status(state_dir: str | Path = ".fleet") -> str:
                 f"  elapsed {prog.elapsed_s:.1f}s, completed {ok}, "
                 f"failed {failed}, pending {pending}, "
                 f"{prog.points_per_sec:.2f} points/s"
+            )
+        elif prog.has_telemetry:
+            lines.append(
+                f"  completed {ok}, failed {failed}, pending {pending} "
+                "(telemetry window too narrow for a rate)"
             )
         else:
             lines.append(

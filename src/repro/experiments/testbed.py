@@ -35,6 +35,10 @@ class HostConfig:
     tr: TokenRingDriverConfig = field(default_factory=TokenRingDriverConfig)
     vca: VCADriverConfig = field(default_factory=VCADriverConfig)
     vca_device_number: int = 7
+    #: Number of VCA source devices on this host (``vca0``..``vcaN-1``).
+    #: A replicated media server carries one slot per concurrent session it
+    #: can source; presentation machines keep the single default slot.
+    vca_slots: int = 1
 
 
 class Host:
@@ -60,18 +64,34 @@ class Host:
         )
         self.machine.add_adapter("tr0", self.tr_adapter)
         self.tr_driver = TokenRingDriver(self.kernel, self.tr_adapter, config.tr)
-        self.vca_adapter = VoiceCommunicationsAdapter(
-            testbed.sim, self.machine.cpu.raise_irq, self.machine.rng
-        )
-        self.machine.add_adapter("vca0", self.vca_adapter)
-        self.vca_driver = VCADriver(
-            self.kernel,
-            self.vca_adapter,
-            config.vca,
-            device_number=config.vca_device_number,
-        )
+        #: VCA adapters/drivers by device name (``vca0``..``vcaN-1``).  The
+        #: first slot keeps the historical adapter name ``"vca"`` so its
+        #: jitter RNG stream is unchanged on single-slot hosts.
+        self.vca_adapters: dict[str, VoiceCommunicationsAdapter] = {}
+        self.vca_drivers: dict[str, VCADriver] = {}
         self.kernel.register_device("tr0", self.tr_driver)
-        self.kernel.register_device("vca0", self.vca_driver)
+        for slot in range(max(1, config.vca_slots)):
+            device = f"vca{slot}"
+            adapter = VoiceCommunicationsAdapter(
+                testbed.sim,
+                self.machine.cpu.raise_irq,
+                self.machine.rng,
+                name="vca" if slot == 0 else device,
+            )
+            self.machine.add_adapter(device, adapter)
+            driver = VCADriver(
+                self.kernel,
+                adapter,
+                config.vca,
+                device_number=config.vca_device_number + slot,
+            )
+            self.kernel.register_device(device, driver)
+            self.vca_adapters[device] = adapter
+            self.vca_drivers[device] = driver
+        self.vca_adapter = self.vca_adapters["vca0"]
+        self.vca_driver = self.vca_drivers["vca0"]
+        #: Set by the ``server_crash`` fault injector: this host is dead.
+        self.crashed = False
         self.kernel.start()
 
     @property

@@ -30,6 +30,7 @@ from repro.faults.plan import (
     FAULT_KINDS,
     HOST_KINDS,
     RING_KINDS,
+    SERVER_KINDS,
     FaultEvent,
     FaultPlan,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "FaultPlan",
     "HOST_KINDS",
     "RING_KINDS",
+    "SERVER_KINDS",
     "StreamInvariantMonitor",
     "Violation",
 ]

@@ -249,3 +249,65 @@ class FaultInjector:
         disk.fault_extra_service_ns = max(
             0, disk.fault_extra_service_ns - extra
         )
+
+    # ------------------------------------------------------------------
+    # media-server kinds
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _host_vca_adapters(host) -> list:
+        """Every VCA adapter on the host, in device-name order."""
+        adapters = getattr(host, "vca_adapters", None)
+        if adapters:
+            return [adapters[name] for name in sorted(adapters)]
+        return [host.vca_adapter]
+
+    #: Sentinel "forever" instant for a wedged transmit path -- far past any
+    #: realistic run horizon, without risking integer-size surprises.
+    _NEVER_NS = 1 << 62
+
+    def _do_server_crash(self, event: FaultEvent) -> None:
+        """Fail-stop: the media server dies and stays dead.
+
+        Every VCA source halts mid-period, the Token Ring adapter ignores
+        transmit commands forever, and the receive DMA buffers are seized
+        for the rest of the run.  ``host.crashed`` is set so control planes
+        and reports can tell a dead server from a quiet one.
+        """
+        host = self._host(event)
+        if host is None:
+            return
+        for adapter in self._host_vca_adapters(host):
+            adapter.stop()
+        tr = host.tr_adapter
+        tr.fault_tx_stall_until = self._NEVER_NS
+        tr.fault_seize_rx_buffers()
+        host.crashed = True
+
+    def _do_server_stall(self, event: FaultEvent) -> None:
+        """Freeze the media server for a window, then resume it.
+
+        Only VCA sources that were actually running when the stall hit are
+        restarted, on a tick grid rebased at the resume instant -- a stalled
+        server must not replay every missed 12 ms edge as a burst.
+        """
+        host = self._host(event)
+        if host is None:
+            return
+        duration = int(event.params["duration_ns"])
+        stalled = [
+            a for a in self._host_vca_adapters(host) if a.running
+        ]
+        for adapter in stalled:
+            adapter.stop()
+        tr = host.tr_adapter
+        tr.fault_tx_stall_until = max(
+            tr.fault_tx_stall_until, self.sim.now + duration
+        )
+        self.sim.schedule(duration, self._end_server_stall, host, stalled)
+
+    @staticmethod
+    def _end_server_stall(host, stalled: list) -> None:
+        if getattr(host, "crashed", False):
+            return  # a crash while stalled wins: the server stays dead
+        for adapter in stalled:
+            adapter.start(align_to_now=True)

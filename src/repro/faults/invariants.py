@@ -34,6 +34,8 @@ LOSS_FRACTION = "loss_fraction"
 INTER_ARRIVAL = "inter_arrival"
 THROUGHPUT = "throughput"
 PLAYOUT_UNDERRUN = "playout_underrun"
+FAILOVER_GAP = "failover_gap"
+REESTABLISH_STORM = "reestablish_storm"
 
 
 @dataclass(frozen=True)
@@ -70,6 +72,19 @@ class StreamInvariantMonitor:
     min_packets:
         Loss/ordering checks wait for this many deliveries so a single
         early packet cannot dominate the fraction.
+    failover_source:
+        Duck-typed handle from the session control plane (a managed-session
+        record) exposing ``failover_windows()`` -- a list of
+        ``(gap_start_ns, resumed_at_ns | None)`` delivery-gap windows, one
+        per failover -- and ``failover_records()`` with per-failover
+        ``establish_rounds``.  When present, inter-arrival gaps covered by a
+        failover window are exempt from ``max_interarrival_ns`` (the glitch
+        is judged by its own budget instead) and two extra invariants arm:
+        ``failover_gap`` (each window must close within
+        ``failover_gap_budget_ns``) and ``reestablish_storm`` (no failover
+        may take more than ``max_failover_rounds`` establish rounds -- the
+        jittered-backoff contract that one crash causes at most one
+        re-establish storm).
     """
 
     def __init__(
@@ -85,6 +100,9 @@ class StreamInvariantMonitor:
         check_period_ns: int = 24 * MS,
         grace_ns: int = 250 * MS,
         min_packets: int = 20,
+        failover_source=None,
+        failover_gap_budget_ns: Optional[int] = None,
+        max_failover_rounds: int = 1,
     ) -> None:
         self.testbed = testbed
         self.sim = testbed.sim
@@ -98,6 +116,9 @@ class StreamInvariantMonitor:
         self.check_period_ns = check_period_ns
         self.grace_ns = grace_ns
         self.min_packets = min_packets
+        self.failover_source = failover_source
+        self.failover_gap_budget_ns = failover_gap_budget_ns
+        self.max_failover_rounds = max_failover_rounds
         self.violations: list[Violation] = []
         self._seen: set[str] = set()
         self._finished = False
@@ -168,11 +189,23 @@ class StreamInvariantMonitor:
                     f"loss fraction {fraction * 100:.2f}% exceeds "
                     f"{self.max_loss_fraction * 100:.2f}%",
                 )
+        windows = (
+            tuple(self.failover_source.failover_windows())
+            if self.failover_source is not None
+            else ()
+        )
         if self.max_interarrival_ns is not None and stats.delivered >= 2:
-            worst = stats.worst_gap_ns()
+            if windows:
+                worst = self._worst_unexempt_gap(stats, windows)
+            else:
+                worst = stats.worst_gap_ns()
             # A gap still in progress counts too -- the watchdog must fire
-            # while the stream is stalled, not after it recovers.
-            if stats.last_arrival is not None:
+            # while the stream is stalled, not after it recovers.  An open
+            # failover window exempts the live gap: that stall is being
+            # judged by the failover-gap budget instead.
+            if stats.last_arrival is not None and not any(
+                end is None for _, end in windows
+            ):
                 worst = max(worst, self.sim.now - stats.last_arrival)
             if worst > self.max_interarrival_ns:
                 self._trip(
@@ -180,12 +213,56 @@ class StreamInvariantMonitor:
                     f"inter-arrival gap {format_time(worst)} exceeds "
                     f"{format_time(self.max_interarrival_ns)}",
                 )
+        if self.failover_gap_budget_ns is not None:
+            for start, end in windows:
+                gap = (end if end is not None else self.sim.now) - start
+                if gap > self.failover_gap_budget_ns:
+                    state = "closed at" if end is not None else "still open,"
+                    self._trip(
+                        FAILOVER_GAP,
+                        f"failover delivery gap {state} {format_time(gap)} "
+                        f"exceeds budget "
+                        f"{format_time(self.failover_gap_budget_ns)}",
+                    )
+                    break
+        if self.failover_source is not None:
+            for record in self.failover_source.failover_records():
+                rounds = record.establish_rounds
+                if rounds > self.max_failover_rounds:
+                    self._trip(
+                        REESTABLISH_STORM,
+                        f"failover took {rounds} establish round(s), "
+                        f"budget {self.max_failover_rounds} (jittered "
+                        "backoff should make one round suffice)",
+                    )
+                    break
         if self.presentation is not None and self.presentation.glitch_count:
             self._trip(
                 PLAYOUT_UNDERRUN,
                 f"playout buffer underran {self.presentation.glitch_count} "
                 "time(s)",
             )
+
+    @staticmethod
+    def _worst_unexempt_gap(stats, windows) -> int:
+        """Worst inter-arrival gap whose interval no failover window covers.
+
+        A pair of consecutive arrivals ``(a, b)`` is exempt when some
+        window overlaps the open interval between them -- that silence is
+        the failover glitch, bounded by its own budget, not a stream
+        stall the playout deadline should punish.
+        """
+        worst = 0
+        arrivals = stats.arrival_times
+        for i in range(1, len(arrivals)):
+            a, b = arrivals[i - 1], arrivals[i]
+            exempt = any(
+                start < b and (end is None or end > a)
+                for start, end in windows
+            )
+            if not exempt:
+                worst = max(worst, b - a)
+        return worst
 
     # ------------------------------------------------------------------
     # first-violation snapshots
@@ -232,6 +309,8 @@ class StreamInvariantMonitor:
         if self.presentation is not None:
             snap["playout_glitches"] = self.presentation.glitch_count
             snap["playout_skips"] = self.presentation.skips
+        if self.failover_source is not None:
+            snap["failovers"] = len(self.failover_source.failover_records())
         return snap
 
     # ------------------------------------------------------------------

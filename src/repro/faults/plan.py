@@ -25,6 +25,8 @@ rx_buffer_exhaustion   adapter fixed receive DMA buffers all busy
 drop_tx_complete       adapter transmit-complete interrupts swallowed
 cpu_steal              host    a DMA-class competitor slowing copyin/copyout
 disk_slow              host    source disk serving reads late (seek storm)
+server_crash           server  media server dies mid-stream (fail-stop, stays down)
+server_stall           server  media server freezes, then resumes after a window
 =====================  ======  ==============================================
 """
 
@@ -58,8 +60,15 @@ ADAPTER_KINDS = frozenset(
 #: Host-level fault kinds (require a target host).
 HOST_KINDS = frozenset({"cpu_steal", "disk_slow"})
 
+#: Media-server fault kinds (require a target host).  ``server_crash`` is
+#: fail-stop: every VCA source on the host halts, its transmit path wedges,
+#: and its receive buffers never come back -- the host stays dead for the
+#: rest of the run.  ``server_stall`` freezes the same machinery for a
+#: window, then restarts the sources on a rebased tick grid.
+SERVER_KINDS = frozenset({"server_crash", "server_stall"})
+
 #: Every kind an injector knows how to apply.
-FAULT_KINDS = RING_KINDS | ADAPTER_KINDS | HOST_KINDS
+FAULT_KINDS = RING_KINDS | ADAPTER_KINDS | HOST_KINDS | SERVER_KINDS
 
 
 @dataclass(frozen=True)
@@ -256,6 +265,32 @@ class FaultPlan:
         """Every disk read pays ``extra_ns`` more (a competing seek storm)."""
         return self.add(
             at_ns, "disk_slow", host=host, duration_ns=duration_ns, extra_ns=extra_ns
+        )
+
+    # ------------------------------------------------------------------
+    # media-server builders
+    # ------------------------------------------------------------------
+    def server_crash(self, at_ns: int, host: str) -> "FaultPlan":
+        """Fail-stop death of a media server: it never comes back.
+
+        Every VCA source on the host halts mid-period, the Token Ring
+        transmit path wedges, and the receive DMA buffers are seized for
+        the rest of the run.  Sessions sourced there go silent at the sink;
+        only a control plane with a replica can save them.
+        """
+        return self.add(at_ns, "server_crash", host=host)
+
+    def server_stall(
+        self, at_ns: int, duration_ns: int, host: str
+    ) -> "FaultPlan":
+        """The media server freezes for a window, then resumes.
+
+        Models a GC pause, a swap storm, or an operator mistake: the DSP
+        timers stop for ``duration_ns`` and then restart on a tick grid
+        rebased at the resume instant (no catch-up interrupt burst).
+        """
+        return self.add(
+            at_ns, "server_stall", host=host, duration_ns=duration_ns
         )
 
     # ------------------------------------------------------------------

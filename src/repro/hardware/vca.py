@@ -64,6 +64,12 @@ class VoiceCommunicationsAdapter:
         #: carrying a cancellable Handle (allocation-free tier).
         self._timer_epoch = 0
         self._tick_count = 0
+        #: Epoch origin of the DSP timer program.  0 for a timer started at
+        #: boot (every historical caller); a timer restarted mid-run with
+        #: ``start(align_to_now=True)`` rebases here so the nominal edges
+        #: count forward from the restart instead of replaying every edge
+        #: since time zero as an interrupt burst.
+        self._origin_ns = 0
         self._irq_name = f"{name}-irq"
         self.stats_interrupts = 0
 
@@ -74,18 +80,33 @@ class VoiceCommunicationsAdapter:
         """Install the host interrupt handler body."""
         self.handler_factory = factory
 
-    def start(self) -> None:
-        """Load the DSP timer program and start the periodic interrupt."""
+    def start(self, align_to_now: bool = False) -> None:
+        """Load the DSP timer program and start the periodic interrupt.
+
+        ``align_to_now`` rebases the nominal tick grid at the current
+        simulated instant.  A failover replica (or a server recovering from
+        a stall) starts its DSP mid-run; without rebasing, ``nominal =
+        tick * period`` would sit far in the past and the timer would spray
+        a catch-up burst of back-to-back interrupts.  The default keeps the
+        historical boot-time grid.
+        """
         if self._running:
             return
         self._running = True
         self._tick_count = 0
+        if align_to_now:
+            self._origin_ns = self.sim.now
         self._schedule_next()
 
     def stop(self) -> None:
         """Halt the DSP timer."""
         self._running = False
         self._timer_epoch += 1
+
+    @property
+    def running(self) -> bool:
+        """True while the DSP timer program is loaded and ticking."""
+        return self._running
 
     # ------------------------------------------------------------------
     # timer mechanics
@@ -96,7 +117,7 @@ class VoiceCommunicationsAdapter:
         # oscilloscope measurement triggered on the previous edge and saw
         # only ~500 ns of variation, i.e. phase noise, not drift).
         self._tick_count += 1
-        nominal = self._tick_count * self.period
+        nominal = self._origin_ns + self._tick_count * self.period
         offset = self._rng.randint(-self.jitter, self.jitter) if self.jitter else 0
         fire_at = max(self.sim.now + 1, nominal + offset)
         self.sim.at_fast(fire_at, self._fire, self._timer_epoch)

@@ -9,6 +9,11 @@ monitors, delivery handles), so a traced run replays the exact event
 calendar of an untraced one.
 """
 
+from repro.obs.controlstats import (
+    CATEGORY_CONTROL,
+    CONTROL_COUNTERS,
+    ControlPlaneMetrics,
+)
 from repro.obs.export import chrome_trace, render_chrome_json, write_chrome_trace
 from repro.obs.fleetstats import FLEET_COUNTERS, fleet_counts, fleet_summary
 from repro.obs.flight import FlightRecorder, FlightSnapshot
@@ -44,12 +49,15 @@ from repro.obs.telemetry import (
 __all__ = [
     "CATEGORIES",
     "CATEGORY_ADAPTER",
+    "CATEGORY_CONTROL",
     "CATEGORY_DISK",
     "CATEGORY_KERNEL_COPY",
     "CATEGORY_PLAYOUT",
     "CATEGORY_PROTOCOL",
     "CATEGORY_RING",
+    "CONTROL_COUNTERS",
     "CampaignProgress",
+    "ControlPlaneMetrics",
     "Counter",
     "DataPathTracer",
     "FLEET_COUNTERS",

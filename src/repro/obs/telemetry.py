@@ -142,6 +142,9 @@ class CampaignProgress:
     points_per_sec: float = 0.0
     #: Estimated seconds until the campaign completes (None: unknowable).
     eta_s: Optional[float] = None
+    #: Whether the journal carried any telemetry timestamps at all
+    #: (distinguishes "telemetry off" from "on but zero-width window").
+    has_telemetry: bool = False
     spotlight: Optional[WorkerSpotlight] = None
     #: Sum of sim calendar entries over finished points that reported one.
     sim_events: int = 0
@@ -209,15 +212,21 @@ def progress(
             prog.failed += 1
 
     timestamps = [r["ts"] for r in telemetry if isinstance(r.get("ts"), (int, float))]
+    prog.has_telemetry = bool(timestamps)
     start_ts = min(timestamps) if timestamps else None
     end_ts = max(timestamps) if timestamps else None
     if now_ts is not None and start_ts is not None:
         end_ts = max(now_ts, end_ts if end_ts is not None else now_ts)
     if start_ts is not None and end_ts is not None:
         prog.elapsed_s = max(0.0, end_ts - start_ts)
-    if prog.elapsed_s > 0:
+    # Rate and ETA need a real denominator on both axes: at least one
+    # finished point *and* a non-zero elapsed window.  An empty or
+    # telemetry-only journal (nothing finished yet) gets rate 0 and
+    # ETA None -- never a division by zero or a fantasy "ETA 0s".
+    if prog.elapsed_s > 0 and prog.done > 0:
         prog.points_per_sec = prog.done / prog.elapsed_s
-    if prog.points_per_sec > 0:
+    # A journal with an unknown/torn total has nothing to count down to.
+    if prog.points_per_sec > 0 and prog.total > 0:
         prog.eta_s = prog.pending / prog.points_per_sec
 
     # Point lifecycle: the latest event per point decides its live state.

@@ -9,10 +9,18 @@ single fixed transmit DMA buffer busy when a CTMSP packet wants it.
 
 :mod:`~repro.workloads.background` builds that mix; :mod:`~repro.workloads.media`
 describes the paper's media rates (telephone audio, CD audio, compressed
-video) as source configurations.
+video) as source configurations; :mod:`~repro.workloads.churn` adds the
+session-level demand -- seeded arrival/departure schedules the control
+plane (:mod:`repro.core.control`) admits, queues, or rejects.
 """
 
 from repro.workloads.background import BackgroundTraffic, LightweightSender
+from repro.workloads.churn import (
+    HOLD_FOREVER,
+    ChurnDriver,
+    ChurnSchedule,
+    SessionRequest,
+)
 from repro.workloads.media import (
     CD_AUDIO,
     COMPRESSED_VIDEO,
@@ -24,7 +32,11 @@ __all__ = [
     "BackgroundTraffic",
     "CD_AUDIO",
     "COMPRESSED_VIDEO",
+    "ChurnDriver",
+    "ChurnSchedule",
+    "HOLD_FOREVER",
     "LightweightSender",
     "MediaSource",
+    "SessionRequest",
     "TELEPHONE_AUDIO",
 ]

@@ -520,3 +520,70 @@ def test_bench_harness_is_a_sanctioned_clock_home():
     assert rule_ids(source, path="src/repro/bench/harness.py") == []
     # ...but only harness.py: the rest of the bench package stays clean.
     assert rule_ids(source, path="src/repro/bench/__init__.py") == ["CTMS103"]
+
+
+# ----------------------------------------------------------------------
+# CTMS304 -- control-plane policy confined to repro/core/control.py
+# ----------------------------------------------------------------------
+def test_policy_function_outside_control_home_flagged():
+    findings = lint(
+        """
+        def decide_admission(request, ledger):
+            return "admit"
+        """,
+        path="repro/experiments/failover.py",
+    )
+    assert [f.rule for f in findings] == ["CTMS304"]
+    assert "control-plane policy" in findings[0].message
+    assert "repro/core/control.py" in findings[0].hint
+
+
+def test_every_policy_name_is_guarded():
+    source = """
+    def decide_admission(): ...
+    def select_server(): ...
+    def select_victims(): ...
+    def plan_failover(): ...
+    """
+    assert rule_ids(source, path="repro/experiments/example.py") == [
+        "CTMS304",
+        "CTMS304",
+        "CTMS304",
+        "CTMS304",
+    ]
+
+
+def test_control_home_may_define_policy():
+    source = """
+    def decide_admission(request, ledger):
+        return "admit"
+
+    def select_victims(sessions):
+        return []
+    """
+    assert rule_ids(source, path="src/repro/core/control.py") == []
+
+
+def test_policy_methods_flagged_too():
+    # A class wrapper is not an escape hatch: the policy decision still
+    # lives outside its home.
+    assert rule_ids(
+        """
+        class ShadowPlane:
+            def select_victims(self):
+                return []
+        """,
+        path="repro/experiments/example.py",
+    ) == ["CTMS304"]
+
+
+def test_calling_policy_is_not_defining_it():
+    assert rule_ids(
+        """
+        from repro.core.control import SessionControlPlane
+
+        def run(plane):
+            return plane.select_victims()
+        """,
+        path="repro/experiments/failover.py",
+    ) == []

@@ -1,0 +1,90 @@
+"""Property tests for SequenceTracker: gap accounting and failover resume.
+
+The failover path trusts two invariants unconditionally: ``missing()`` is
+exactly the sorted complement of what arrived (and its length always equals
+``lost_packets``), and ``resume_point()`` is the number a replica can splice
+at without creating an artificial gap or a duplicate.  Hypothesis drives
+both over arbitrary arrival orders.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.recovery import DUPLICATE, OK, SequenceTracker
+
+# Arrival sequences drawn from a small number space so duplicates, gaps,
+# and late fills all occur often.
+arrivals = st.lists(st.integers(min_value=0, max_value=60), max_size=120)
+
+
+def _replay(seq):
+    tracker = SequenceTracker()
+    for n in seq:
+        tracker.record(n)
+    return tracker
+
+
+@given(arrivals)
+def test_missing_is_the_sorted_complement_of_arrivals(seq):
+    tracker = _replay(seq)
+    if not seq:
+        assert tracker.missing() == ()
+        return
+    seen = set(seq)
+    first = seq[0]
+    expected = sorted(
+        n for n in range(first, tracker.highest_seen + 1) if n not in seen
+    )
+    assert list(tracker.missing()) == expected
+
+
+@given(arrivals)
+def test_missing_length_always_equals_lost_packets(seq):
+    tracker = SequenceTracker()
+    for n in seq:
+        tracker.record(n)
+        assert len(tracker.missing()) == tracker.lost_packets
+
+
+@given(arrivals)
+def test_resume_point_is_high_water_plus_one(seq):
+    tracker = _replay(seq)
+    if not seq:
+        assert tracker.resume_point() == 0
+    else:
+        assert tracker.resume_point() == tracker.highest_seen + 1
+
+
+@given(arrivals)
+def test_resuming_at_resume_point_is_seamless(seq):
+    """A replica numbering from resume_point() splices with no new loss."""
+    tracker = _replay(seq)
+    lost_before = tracker.lost_packets
+    start = tracker.resume_point()
+    for n in range(start, start + 5):
+        assert tracker.record(n) == OK
+    assert tracker.lost_packets == lost_before
+
+
+@given(arrivals)
+def test_duplicates_never_mutate_loss_accounting(seq):
+    tracker = _replay(seq)
+    before = (tracker.missing(), tracker.lost_packets, tracker.delivered)
+    for n in set(seq):
+        if n not in tracker.missing():
+            assert tracker.record(n) == DUPLICATE
+    assert (tracker.missing(), tracker.lost_packets, tracker.delivered) == before
+
+
+@given(arrivals)
+def test_delivered_plus_lost_covers_the_number_line(seq):
+    """Every number from first arrival to high water is delivered or lost.
+
+    Numbers below the first arrival don't count -- the sink attached
+    mid-stream, and anything earlier is classified as a duplicate.
+    """
+    tracker = _replay(seq)
+    if not seq:
+        return
+    span = tracker.highest_seen - seq[0] + 1
+    assert tracker.delivered + tracker.lost_packets == span

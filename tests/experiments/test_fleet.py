@@ -153,6 +153,35 @@ def test_journal_skips_torn_tail_and_keeps_last_writer(tmp_path):
     assert records["k:1"]["status"] == "ok"  # last writer wins
 
 
+def test_torn_tail_inside_a_multibyte_utf8_sequence(tmp_path):
+    # A SIGKILL can land mid-character, not just mid-record: the tail below
+    # ends one byte into the two-byte encoding of U+00E9.  A text-mode
+    # reader raises UnicodeDecodeError on the whole file; the loader must
+    # instead skip only the torn line and keep every complete record.
+    path = tmp_path / "journal.jsonl"
+    good = json.dumps({"campaign": "abc", "total_points": 2}) + "\n"
+    good += json.dumps({"key": "k:1", "status": "ok", "note": "café"}) + "\n"
+    torn = '{"key": "k:2", "note": "café'.encode("utf-8")[:-1]
+    path.write_bytes(good.encode("utf-8") + torn)
+    header, records = Journal.load(path)
+    assert header["campaign"] == "abc"
+    assert list(records) == ["k:1"]
+    assert records["k:1"]["note"] == "café"
+
+
+def test_torn_multibyte_line_mid_file_skips_only_itself(tmp_path):
+    # Same wound, but with a newline after it and complete records on both
+    # sides (a concurrent writer recovered): the later records must load.
+    path = tmp_path / "journal.jsonl"
+    blob = json.dumps({"campaign": "abc", "total_points": 2}).encode() + b"\n"
+    blob += '{"key": "k:1", "note": "café'.encode("utf-8")[:-1] + b"\n"
+    blob += json.dumps({"key": "k:2", "status": "ok"}).encode() + b"\n"
+    path.write_bytes(blob)
+    header, records = Journal.load(path)
+    assert header["campaign"] == "abc"
+    assert list(records) == ["k:2"]
+
+
 def test_append_after_torn_tail_starts_a_fresh_line(tmp_path):
     spec = small_validation_spec()
     path = tmp_path / "journal.jsonl"

@@ -215,3 +215,17 @@ def test_sigint_flushes_journal_and_prints_resume_command(tmp_path):
     header, records = Journal.load(journal)
     assert header["campaign"] == big.campaign_id()
     assert any(r.get("status") == "ok" for r in records.values())
+
+
+def test_failover_campaign_parallel_matches_serial(tmp_path):
+    # The acceptance property for the control-plane scenario: the failover
+    # fleet renders byte-identically whether its points ran serially or
+    # sharded over the worker pool.
+    from repro.experiments.fleet import failover_fleet_spec
+
+    fspec = failover_fleet_spec([1, 2], duration_ns=2 * SEC)
+    serial = run_fleet(fspec, jobs=1, state_dir=tmp_path / "ser")
+    parallel = run_fleet(fspec, jobs=4, state_dir=tmp_path / "par")
+    assert serial.ok() and parallel.ok()
+    assert parallel.render() == serial.render()
+    assert "admitted sessions surviving:" in serial.render()

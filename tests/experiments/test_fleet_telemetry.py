@@ -154,6 +154,29 @@ def test_fleet_status_without_telemetry_falls_back_to_counts(tmp_path):
     assert "completed 2, failed 0, pending 0" in status
 
 
+def test_fleet_status_telemetry_only_journal_prints_no_rate(tmp_path):
+    # A campaign that was journalled and immediately killed: the header
+    # and one telemetry marker exist, zero results.  Status must not
+    # divide by zero or print a fantasy rate -- it says why instead.
+    campaign_dir = tmp_path / "campaign-dead"
+    campaign_dir.mkdir()
+    from repro.obs.telemetry import EVENT_CAMPAIGN_STARTED, record
+
+    (campaign_dir / "journal.jsonl").write_text(
+        json.dumps({"campaign": "dead", "kind": "chaos", "total_points": 4})
+        + "\n"
+        + json.dumps(
+            record(EVENT_CAMPAIGN_STARTED, ts=100.0, campaign="dead",
+                   kind="chaos")
+        )
+        + "\n"
+    )
+    status = fleet_status(tmp_path)
+    assert "0/4 ok" in status
+    assert "telemetry window too narrow for a rate" in status
+    assert "points/s" not in status
+
+
 def test_fleet_watch_renders_finished_campaign_and_stops(tmp_path):
     spec = small_validation_spec()
     run_fleet(spec, jobs=1, state_dir=tmp_path)

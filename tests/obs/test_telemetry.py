@@ -140,6 +140,54 @@ def test_progress_without_telemetry_is_counts_only():
     assert "ETA --" in prog.render_line()
 
 
+def test_telemetry_only_journal_never_divides_by_zero():
+    # A freshly-started campaign: telemetry markers exist but nothing has
+    # finished.  done == 0 must short-circuit the rate, and the render
+    # must say ETA is unknowable rather than inventing one.
+    recs = [
+        record(EVENT_CAMPAIGN_STARTED, ts=100.0, campaign="cafe", kind="chaos"),
+        record(EVENT_POINT_STARTED, ts=100.5, point="p:1", seed=1, worker=0),
+    ]
+    prog = progress(HEADER, {}, recs, now_ts=100.0)
+    assert prog.has_telemetry
+    assert prog.points_per_sec == 0.0
+    assert prog.eta_s is None
+    assert "ETA --" in prog.render_line()
+
+
+def test_zero_width_telemetry_window_yields_no_rate():
+    # One point finished, but every timestamp is identical (coarse clock):
+    # elapsed 0 must not become a division by zero or an infinite rate.
+    results = {"p:1": {"key": "p:1", "status": "ok"}}
+    recs = [_finished("p:1", ts=100.0)]
+    prog = progress(HEADER, results, recs)
+    assert prog.has_telemetry
+    assert prog.elapsed_s == 0.0
+    assert prog.points_per_sec == 0.0
+    assert prog.eta_s is None
+
+
+def test_torn_header_total_yields_no_eta():
+    # A journal whose header was torn mid-write loads with total 0; there
+    # is nothing to count down to, so ETA stays None even with a rate.
+    results = {"p:1": {"key": "p:1", "status": "ok"}}
+    recs = [
+        record(EVENT_CAMPAIGN_STARTED, ts=100.0, campaign="cafe", kind="chaos"),
+        _finished("p:1", ts=101.0),
+    ]
+    prog = progress({"campaign": "cafe", "kind": "chaos"}, results, recs)
+    assert prog.points_per_sec == pytest.approx(1.0)
+    assert prog.eta_s is None
+
+
+def test_has_telemetry_distinguishes_off_from_empty_window():
+    results = {"p:1": {"key": "p:1", "status": "ok"}}
+    off = progress(HEADER, results, [])
+    on = progress(HEADER, results, [_finished("p:1", ts=100.0)])
+    assert not off.has_telemetry
+    assert on.has_telemetry
+
+
 def test_retrying_counts_points_awaiting_backoff():
     recs = [
         record(EVENT_POINT_RETRIED, ts=1.0, point="p:1", seed=1, attempt=1,
